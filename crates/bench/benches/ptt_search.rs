@@ -1,0 +1,52 @@
+//! Microbenchmarks of the PTT operations on the paper's two platform
+//! shapes. §4.1.1 reports "the overhead of globally searching the whole
+//! PTT is in the order of one microsecond" on the TX2 and flags the
+//! 80-core cluster shape as the scalability frontier — this bench
+//! measures both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use das_core::{Ptt, WeightRatio};
+use das_topology::{CoreId, Topology};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn trained_ptt(topo: Arc<Topology>) -> Ptt {
+    let ptt = Ptt::new(Arc::clone(&topo), WeightRatio::PAPER);
+    for (i, p) in topo.places().enumerate() {
+        ptt.seed(p.leader, p.width, 1e-3 * (1.0 + (i % 7) as f64));
+    }
+    ptt
+}
+
+fn bench_searches(c: &mut Criterion) {
+    let shapes: Vec<(&str, Arc<Topology>)> = vec![
+        ("tx2-6c", Arc::new(Topology::tx2())),
+        ("haswell-16c", Arc::new(Topology::haswell_2x8())),
+        ("cluster-80c", Arc::new(Topology::haswell_cluster(4))),
+    ];
+    let mut g = c.benchmark_group("ptt");
+    for (name, topo) in shapes {
+        let ptt = trained_ptt(Arc::clone(&topo));
+        g.bench_with_input(
+            BenchmarkId::new("global_search_cost", name),
+            &ptt,
+            |b, ptt| b.iter(|| black_box(ptt.global_search(true, false, None))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("global_search_perf", name),
+            &ptt,
+            |b, ptt| b.iter(|| black_box(ptt.global_search(false, false, None))),
+        );
+        g.bench_with_input(BenchmarkId::new("local_search", name), &ptt, |b, ptt| {
+            b.iter(|| black_box(ptt.local_search(CoreId(0))))
+        });
+        let place = topo.place(CoreId(0), 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("weighted_update", name), &ptt, |b, ptt| {
+            b.iter(|| ptt.update(black_box(place), black_box(1.1e-3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_searches);
+criterion_main!(benches);

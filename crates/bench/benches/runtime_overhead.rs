@@ -1,0 +1,61 @@
+//! Microbenchmarks of the runtime-facing hot paths: the per-task
+//! scheduling decisions (wake-up + dequeue) and a small end-to-end DAG
+//! execution through the threaded runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use das_core::{Policy, Priority, Scheduler, TaskMeta, TaskTypeId};
+use das_runtime::{Runtime, TaskGraph};
+use das_topology::{CoreId, Topology};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_decisions(c: &mut Criterion) {
+    let topo = Arc::new(Topology::tx2());
+    let mut g = c.benchmark_group("decisions");
+    for policy in [Policy::Rws, Policy::Fa, Policy::DamC, Policy::DamP] {
+        let sched = Scheduler::new(Arc::clone(&topo), policy);
+        // Train so the searches take their steady-state path.
+        for p in topo.places() {
+            sched.record(TaskTypeId(0), p, 1e-3);
+        }
+        let high = TaskMeta::new(TaskTypeId(0), Priority::High);
+        let low = TaskMeta::new(TaskTypeId(0), Priority::Low);
+        g.bench_with_input(
+            BenchmarkId::new("wakeup_high", policy.name()),
+            &sched,
+            |b, s| b.iter(|| black_box(s.on_wakeup(black_box(&high), CoreId(3)))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dequeue_low", policy.name()),
+            &sched,
+            |b, s| b.iter(|| black_box(s.on_dequeue(black_box(&low), CoreId(3), None))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    for policy in [Policy::Rws, Policy::DamC] {
+        g.bench_function(BenchmarkId::new("chain64", policy.name()), |b| {
+            let rt = Runtime::new(Arc::new(Topology::symmetric(2)), policy);
+            b.iter(|| {
+                let mut graph = TaskGraph::new("bench");
+                let mut prev = None;
+                for _ in 0..64 {
+                    let id = graph.add(TaskTypeId(0), Priority::Low, |_| {});
+                    if let Some(p) = prev {
+                        graph.add_edge(p, id);
+                    }
+                    prev = Some(id);
+                }
+                black_box(rt.run(&graph).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decisions, bench_end_to_end);
+criterion_main!(benches);

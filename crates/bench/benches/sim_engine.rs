@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks of the discrete-event engine itself: how
+//! many simulated tasks per wall-clock second the substrate sustains.
+//! This is the reproduction's analogue of XiTAO's runtime overhead —
+//! figure harnesses sweep thousands of configurations, so engine
+//! throughput bounds experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use das_core::{Policy, TaskTypeId};
+use das_dag::generators;
+use das_sim::{Environment, Modifier, SimConfig, Simulator};
+use das_topology::{CoreId, Topology};
+use das_workloads::cost::PaperCost;
+use std::sync::Arc;
+
+fn engine_task_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    for (name, policy) in [("rws", Policy::Rws), ("dam_c", Policy::DamC)] {
+        for tasks in [1_000usize, 10_000] {
+            let dag = generators::layered(TaskTypeId(0), 4, tasks / 4);
+            g.throughput(Throughput::Elements(tasks as u64));
+            g.bench_with_input(
+                BenchmarkId::new(name, tasks),
+                &dag,
+                |b, dag| {
+                    b.iter(|| {
+                        let topo = Arc::new(Topology::tx2());
+                        let mut sim = Simulator::new(
+                            SimConfig::new(Arc::clone(&topo), policy)
+                                .cost(Arc::new(PaperCost::new())),
+                        );
+                        sim.run(dag).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn engine_with_env_churn(c: &mut Criterion) {
+    // A fast DVFS wave forces piecewise re-integration of every running
+    // assembly at each edge — the engine's worst case.
+    let mut g = c.benchmark_group("sim_engine_env_churn");
+    let dag = generators::layered(TaskTypeId(0), 4, 500);
+    for half_period in [1.0f64, 0.01, 0.001] {
+        g.bench_with_input(
+            BenchmarkId::new("dvfs_half_period", format!("{half_period}")),
+            &half_period,
+            |b, &hp| {
+                b.iter(|| {
+                    let topo = Arc::new(Topology::tx2());
+                    let mut sim = Simulator::new(
+                        SimConfig::new(Arc::clone(&topo), Policy::DamC)
+                            .cost(Arc::new(PaperCost::new())),
+                    );
+                    sim.set_env(Environment::interference_free(Arc::clone(&topo)).and(
+                        Modifier::DvfsSquareWave {
+                            cluster: das_topology::ClusterId(0),
+                            low_factor: 0.2,
+                            half_period: hp,
+                            from: 0.0,
+                            until: f64::INFINITY,
+                        },
+                    ));
+                    sim.run(&dag).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn dag_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_generators");
+    g.bench_function("layered_32k", |b| {
+        b.iter(|| generators::layered(TaskTypeId(0), 4, 8000))
+    });
+    g.bench_function("cholesky_16", |b| b.iter(|| generators::cholesky_like(16)));
+    g.bench_function("wavefront_64", |b| {
+        b.iter(|| generators::wavefront(TaskTypeId(0), 64))
+    });
+    g.finish();
+}
+
+fn scenario_environments(c: &mut Criterion) {
+    // Speed lookups are the inner loop of exec-rate computation; a
+    // scenario with many modifiers (random bursts) stresses it.
+    let topo = Arc::new(Topology::tx2());
+    let s = das_sim::Scenario::random_bursts(&topo, 3, 64, 60.0, (0.5, 2.0), (0.3, 0.8));
+    let env = s.environment(Arc::clone(&topo));
+    c.bench_function("env_speed_64_bursts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in 0..100 {
+                acc += env.speed(CoreId(t % 6), t as f64 * 0.6);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    engine_task_rate,
+    engine_with_env_churn,
+    dag_generation,
+    scenario_environments
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation (beyond the paper): the representative-row **sampled global
+//! search** vs the exhaustive sweep — the paper's future-work item on
+//! scalable performance prediction, quantified.
+//!
+//! Two axes: schedule quality (throughput under the Fig. 4 co-runner
+//! scenario) and decision cost (mean search latency on a trained PTT),
+//! across machine sizes.
+
+use das_bench::{scale_from_args, SEED};
+use das_core::{Policy, Scheduler, TaskTypeId, WeightRatio};
+use das_sim::{Environment, Modifier, SimConfig, Simulator};
+use das_topology::{CoreId, Topology};
+use das_workloads::cost::PaperCost;
+use das_workloads::synthetic::{self, Kernel};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn latency_ns(topo: &Arc<Topology>, sampled: bool) -> f64 {
+    let sched = Scheduler::new(Arc::clone(topo), Policy::DamC);
+    let ptt = sched.ptts().table(TaskTypeId(0));
+    for p in topo.places() {
+        ptt.seed(p.leader, p.width, 1.0 + p.leader.0 as f64);
+    }
+    const N: u32 = 50_000;
+    let t0 = Instant::now();
+    for _ in 0..N {
+        if sampled {
+            black_box(ptt.global_search_sampled(true, None, CoreId(0)));
+        } else {
+            black_box(ptt.global_search(true, false, None));
+        }
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / f64::from(N)
+}
+
+fn quality(topo: &Arc<Topology>, sampled: bool, scale: usize) -> f64 {
+    let sched = Arc::new(
+        Scheduler::with_ratio(Arc::clone(topo), Policy::DamC, WeightRatio::PAPER)
+            .with_sampled_search(sampled),
+    );
+    let mut sim = Simulator::new(
+        SimConfig::new(Arc::clone(topo), Policy::DamC)
+            .cost(Arc::new(PaperCost::new()))
+            .seed(SEED),
+    );
+    sim.replace_scheduler(sched);
+    sim.set_env(
+        Environment::interference_free(Arc::clone(topo))
+            .and(Modifier::compute_corunner(CoreId(0))),
+    );
+    let dag = synthetic::dag(Kernel::MatMul, 4, scale);
+    sim.run(&dag).expect("ablation run").throughput()
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Ablation — sampled vs exhaustive global PTT search\n");
+    println!(
+        "{:<22} {:>7} {:>11} {:>11} {:>9} {:>11} {:>11} {:>8}",
+        "platform", "places", "full [ns]", "sampl [ns]", "speedup", "full [t/s]", "sampl [t/s]", "quality"
+    );
+    for (name, topo) in [
+        ("TX2", Topology::tx2()),
+        ("haswell 2x10", Topology::haswell_2x10()),
+        ("cluster 4x2x10", Topology::haswell_cluster(4)),
+    ] {
+        let topo = Arc::new(topo);
+        let (lf, ls) = (latency_ns(&topo, false), latency_ns(&topo, true));
+        let (qf, qs) = (quality(&topo, false, scale), quality(&topo, true, scale));
+        println!(
+            "{name:<22} {:>7} {lf:>11.0} {ls:>11.0} {:>8.1}x {qf:>11.0} {qs:>11.0} {:>7.1}%",
+            topo.places().count(),
+            lf / ls,
+            100.0 * qs / qf
+        );
+    }
+    println!(
+        "\nReading: the sampled search cuts decision latency by the cluster\n\
+         count while keeping throughput within a few percent — its blind\n\
+         spot (stale rows for non-representative leaders of other clusters)\n\
+         rarely matters because symmetric clusters make any row representative."
+    );
+}

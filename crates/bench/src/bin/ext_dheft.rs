@@ -1,0 +1,52 @@
+//! Extension experiment (beyond the paper): the dHEFT reference
+//! scheduler (§6 cites it as CATS's evaluation baseline) against the
+//! paper's schedulers under the Fig. 4(a) co-runner scenario.
+//!
+//! dHEFT discovers execution times at runtime and assigns every task to
+//! the core with the earliest predicted finish — dynamic like DAM, but
+//! width-1 only and with strict assignment (no stealing at all), so it
+//! cannot reduce oversubscription by molding nor repair mispredictions
+//! by rebalancing.
+
+use das_bench::{run_synthetic, scale_from_args, tx2_sim, SEED};
+use das_core::Policy;
+use das_sim::{Environment, Modifier, SimConfig, Simulator};
+use das_topology::{CoreId, Topology};
+use das_workloads::cost::PaperCost;
+use das_workloads::synthetic::Kernel;
+use std::sync::Arc;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Extension — dHEFT vs the paper's schedulers (MatMul, co-runner on core 0)");
+    print!("{:>12}", "parallelism");
+    let policies = [Policy::Rws, Policy::Fa, Policy::DHeft, Policy::DamC, Policy::DamP];
+    for p in policies {
+        print!("{:>10}", p.name());
+    }
+    println!();
+    for parallelism in 2..=6usize {
+        print!("{parallelism:>12}");
+        for policy in policies {
+            let mut sim = if policy == Policy::DHeft {
+                let topo = Arc::new(Topology::tx2());
+                Simulator::new(
+                    SimConfig::new(topo, policy)
+                        .cost(Arc::new(PaperCost::new()))
+                        .seed(SEED),
+                )
+            } else {
+                tx2_sim(policy)
+            };
+            let topo = Arc::clone(&sim.config().topo);
+            sim.set_env(
+                Environment::interference_free(topo).and(Modifier::compute_corunner(CoreId(0))),
+            );
+            let st = run_synthetic(&mut sim, Kernel::MatMul, parallelism, scale);
+            print!("{:>10.0}", st.throughput());
+        }
+        println!();
+    }
+    println!("\nExpected shape: dHEFT beats RWS/FA (it is dynamic) but trails DAM-C/DAM-P");
+    println!("(no moldability, and strict width-1 assignment of *all* tasks serialises load).");
+}

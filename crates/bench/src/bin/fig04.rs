@@ -1,0 +1,73 @@
+//! Fig. 4: throughput of all seven schedulers under co-running
+//! application interference on Denver core 0, for the three synthetic
+//! kernels, DAG parallelism 2–6 (§5.1).
+//!
+//! The co-runner is a compute chain for MatMul/Stencil (CPU interference)
+//! and a copy chain for Copy (memory interference), exactly as in the
+//! paper.
+
+use das_bench::{print_table, run_synthetic, scale_from_args, tx2_sim};
+use das_core::Policy;
+use das_sim::{Environment, Modifier};
+use das_topology::CoreId;
+use das_workloads::synthetic::Kernel;
+use std::sync::Arc;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 4 — co-running application interference on Denver core 0 (scale 1/{scale})");
+    let parallelisms: Vec<usize> = (2..=6).collect();
+
+    for kernel in Kernel::ALL {
+        let mut cells = Vec::new();
+        for &p in &parallelisms {
+            let mut row = Vec::new();
+            for policy in Policy::ALL {
+                let mut sim = tx2_sim(policy);
+                let topo = Arc::clone(&sim.config().topo);
+                let corunner = match kernel {
+                    Kernel::Copy => Modifier::memory_corunner(CoreId(0)),
+                    _ => Modifier::compute_corunner(CoreId(0)),
+                };
+                sim.set_env(Environment::interference_free(topo).and(corunner));
+                let st = run_synthetic(&mut sim, kernel, p, scale);
+                row.push(st.throughput());
+            }
+            cells.push(row);
+        }
+        let xs: Vec<String> = parallelisms.iter().map(|p| p.to_string()).collect();
+        print_table(
+            &format!("Fig. 4({}) {kernel} throughput [tasks/s]", label(kernel)),
+            "parallelism",
+            &xs,
+            &Policy::ALL,
+            &cells,
+        );
+        headline(kernel, &parallelisms, &cells);
+    }
+}
+
+fn label(k: Kernel) -> &'static str {
+    match k {
+        Kernel::MatMul => "a",
+        Kernel::Copy => "b",
+        Kernel::Stencil => "c",
+    }
+}
+
+/// The §5.1 headline numbers: DAM-C vs RWS / FA / FAM-C.
+fn headline(kernel: Kernel, ps: &[usize], cells: &[Vec<f64>]) {
+    let idx = |p: Policy| Policy::ALL.iter().position(|&q| q == p).unwrap();
+    let best = |target: Policy, base: Policy| {
+        ps.iter()
+            .zip(cells)
+            .map(|(_, row)| row[idx(target)] / row[idx(base)])
+            .fold(f64::MIN, f64::max)
+    };
+    println!(
+        "   {kernel}: DAM-C vs RWS up to {:.2}x | vs FA up to +{:.0}% | vs FAM-C up to +{:.0}%",
+        best(Policy::DamC, Policy::Rws),
+        (best(Policy::DamC, Policy::Fa) - 1.0) * 100.0,
+        (best(Policy::DamC, Policy::FamC) - 1.0) * 100.0,
+    );
+}

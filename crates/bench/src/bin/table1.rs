@@ -1,0 +1,20 @@
+//! Table 1: features summary of all evaluated schedulers.
+
+use das_core::Policy;
+
+fn main() {
+    println!("Table 1. Features summary of all evaluated schedulers");
+    println!(
+        "{:<8} {:<22} {:<13} {:<18}",
+        "Name", "[A]symmetry awareness", "[M]oldability", "Priority placement"
+    );
+    for p in Policy::ALL {
+        println!(
+            "{:<8} {:<22} {:<13} {:<18}",
+            p.name(),
+            p.asymmetry_awareness(),
+            if p.moldable() { "Yes" } else { "No" },
+            p.priority_placement(),
+        );
+    }
+}

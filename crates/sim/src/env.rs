@@ -1,0 +1,438 @@
+//! Time-varying platform performance: the *dynamic* half of dynamic
+//! asymmetry.
+//!
+//! An [`Environment`] turns the static topology (cluster base speeds)
+//! into per-core speed functions of time by composing [`Modifier`]s:
+//!
+//! * [`Modifier::CoRunner`] — an interfering application time-shares one
+//!   core (§5.1): the victim core's useful speed drops by the CPU share
+//!   taken, and, for memory-intensive interference, the whole cluster
+//!   experiences memory pressure;
+//! * [`Modifier::DvfsSquareWave`] — periodic frequency switching of one
+//!   cluster between a high and a low frequency (§5.2: 2035 MHz ↔
+//!   345 MHz with a 5 s + 5 s cycle);
+//! * [`Modifier::Slowdown`] — an arbitrary multiplicative slow-down over a
+//!   core range and time window (used for the socket-level interference of
+//!   §5.4 and for fault-injection tests).
+//!
+//! All modifiers are piecewise-constant in time, so the simulator can ask
+//! for the [`Environment::next_change_after`] a given instant and
+//! re-integrate running tasks only at those points.
+
+use das_topology::{ClusterId, CoreId, Topology};
+use std::sync::Arc;
+
+/// One source of dynamic performance variation. Times are seconds of
+/// simulated time since the start of the run; `until = f64::INFINITY`
+/// means "for the whole run".
+#[derive(Clone, Debug)]
+pub enum Modifier {
+    /// A co-running application pinned to `core`.
+    CoRunner {
+        /// The victim core.
+        core: CoreId,
+        /// Fraction of the victim's CPU taken by the co-runner (0..1).
+        /// The paper's single-chain co-runner takes ~half: 0.5.
+        cpu_share: f64,
+        /// Memory-bandwidth pressure (0..1) applied to the victim's whole
+        /// cluster. Non-zero for memory-intensive co-runners (the Copy
+        /// chain of §5.1); zero for compute-bound ones.
+        mem_pressure: f64,
+        /// Start of the interference episode (inclusive).
+        from: f64,
+        /// End of the episode (exclusive).
+        until: f64,
+    },
+    /// Square-wave DVFS on a cluster: frequency alternates between the
+    /// nominal (factor 1.0) and `low_factor`, each phase lasting
+    /// `half_period` seconds, starting in the *high* phase at `from`.
+    DvfsSquareWave {
+        /// The cluster whose frequency oscillates.
+        cluster: ClusterId,
+        /// Relative speed during the low phase (345/2035 ≈ 0.17 for the
+        /// TX2 experiment).
+        low_factor: f64,
+        /// Length of one phase in seconds (5.0 in the paper: "a 10 s
+        /// period for a full cycle (i.e. 5 s + 5 s)").
+        half_period: f64,
+        /// When the wave starts (high phase first).
+        from: f64,
+        /// When the wave stops.
+        until: f64,
+    },
+    /// Multiplicative slow-down of a contiguous range of cores.
+    Slowdown {
+        /// First affected core.
+        first_core: CoreId,
+        /// Number of affected cores.
+        num_cores: usize,
+        /// Speed multiplier (0..1].
+        factor: f64,
+        /// Optional memory pressure applied to the affected clusters.
+        mem_pressure: f64,
+        /// Window start.
+        from: f64,
+        /// Window end.
+        until: f64,
+    },
+}
+
+impl Modifier {
+    /// Convenience: the paper's §5.1 co-runner — a compute chain on one
+    /// core for the whole run.
+    pub fn compute_corunner(core: CoreId) -> Modifier {
+        Modifier::CoRunner {
+            core,
+            cpu_share: 0.5,
+            mem_pressure: 0.0,
+            from: 0.0,
+            until: f64::INFINITY,
+        }
+    }
+
+    /// Convenience: the §5.1 memory-interference co-runner (Copy chain).
+    pub fn memory_corunner(core: CoreId) -> Modifier {
+        Modifier::CoRunner {
+            core,
+            cpu_share: 0.5,
+            mem_pressure: 0.35,
+            from: 0.0,
+            until: f64::INFINITY,
+        }
+    }
+
+    /// Convenience: the §5.2 TX2 DVFS wave (2035 MHz ↔ 345 MHz, 5 s+5 s)
+    /// on `cluster`.
+    pub fn tx2_dvfs(cluster: ClusterId) -> Modifier {
+        Modifier::DvfsSquareWave {
+            cluster,
+            low_factor: 345.0 / 2035.0,
+            half_period: 5.0,
+            from: 0.0,
+            until: f64::INFINITY,
+        }
+    }
+
+    fn speed_factor(&self, topo: &Topology, core: CoreId, t: f64) -> f64 {
+        match *self {
+            Modifier::CoRunner {
+                core: victim,
+                cpu_share,
+                from,
+                until,
+                ..
+            } => {
+                if core == victim && t >= from && t < until {
+                    1.0 - cpu_share
+                } else {
+                    1.0
+                }
+            }
+            Modifier::DvfsSquareWave {
+                cluster,
+                low_factor,
+                half_period,
+                from,
+                until,
+            } => {
+                if topo.cluster_of(core).id != cluster || t < from || t >= until {
+                    return 1.0;
+                }
+                let phase = ((t - from) / half_period).floor() as u64;
+                if phase.is_multiple_of(2) {
+                    1.0
+                } else {
+                    low_factor
+                }
+            }
+            Modifier::Slowdown {
+                first_core,
+                num_cores,
+                factor,
+                from,
+                until,
+                ..
+            } => {
+                let r = first_core.0..first_core.0 + num_cores;
+                if r.contains(&core.0) && t >= from && t < until {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Memory pressure propagates across the victim's whole *memory
+    /// domain* — every cluster sharing the DRAM controller ("the sharing
+    /// of resources between applications", §1). On the TX2 both clusters
+    /// share one LPDDR4 controller, so a streaming co-runner pressures
+    /// the entire SoC; on a dual-socket Haswell each socket has its own
+    /// controllers and pressure stays socket-local.
+    fn mem_pressure(&self, topo: &Topology, cluster: ClusterId, t: f64) -> f64 {
+        let domain = topo.cluster(cluster).mem_domain;
+        match *self {
+            Modifier::CoRunner {
+                core,
+                mem_pressure,
+                from,
+                until,
+                ..
+            } => {
+                if topo.cluster_of(core).mem_domain == domain && t >= from && t < until {
+                    mem_pressure
+                } else {
+                    0.0
+                }
+            }
+            Modifier::Slowdown {
+                first_core,
+                num_cores,
+                mem_pressure,
+                from,
+                until,
+                ..
+            } => {
+                if mem_pressure == 0.0 || t < from || t >= until {
+                    return 0.0;
+                }
+                let affected = (first_core.0..first_core.0 + num_cores)
+                    .any(|c| topo.cluster_of(CoreId(c)).mem_domain == domain);
+                if affected {
+                    mem_pressure
+                } else {
+                    0.0
+                }
+            }
+            Modifier::DvfsSquareWave { .. } => 0.0,
+        }
+    }
+
+    /// Next instant strictly after `t` at which this modifier changes
+    /// value, if any.
+    fn next_change_after(&self, t: f64) -> Option<f64> {
+        match *self {
+            Modifier::CoRunner { from, until, .. }
+            | Modifier::Slowdown { from, until, .. } => {
+                if t < from {
+                    Some(from)
+                } else if t < until && until.is_finite() {
+                    Some(until)
+                } else {
+                    None
+                }
+            }
+            Modifier::DvfsSquareWave {
+                half_period,
+                from,
+                until,
+                ..
+            } => {
+                if t < from {
+                    return Some(from);
+                }
+                if t >= until {
+                    return None;
+                }
+                let mut k = ((t - from) / half_period).floor() + 1.0;
+                let mut next = from + k * half_period;
+                // Strict progress: when `t` lies exactly on a phase edge
+                // whose quotient rounded down (e.g. t = 15·hp but
+                // t/hp = 14.999…98 in binary), the naive formula returns
+                // `next == t` and the event loop would reschedule the
+                // same instant forever.
+                while next <= t {
+                    k += 1.0;
+                    next = from + k * half_period;
+                }
+                if next < until {
+                    Some(next)
+                } else if until.is_finite() {
+                    Some(until)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// The composed, time-varying performance state of the platform.
+#[derive(Clone, Debug)]
+pub struct Environment {
+    topo: Arc<Topology>,
+    mods: Vec<Modifier>,
+}
+
+impl Environment {
+    /// No interference at all: every core runs at its cluster's static
+    /// base speed forever.
+    pub fn interference_free(topo: Arc<Topology>) -> Self {
+        Environment {
+            topo,
+            mods: Vec::new(),
+        }
+    }
+
+    /// An environment with the given modifiers.
+    pub fn with_modifiers(topo: Arc<Topology>, mods: Vec<Modifier>) -> Self {
+        Environment { topo, mods }
+    }
+
+    /// Append a modifier (builder style).
+    pub fn and(mut self, m: Modifier) -> Self {
+        self.mods.push(m);
+        self
+    }
+
+    /// The modifiers in force.
+    pub fn modifiers(&self) -> &[Modifier] {
+        &self.mods
+    }
+
+    /// Effective speed of `core` at time `t`: static cluster base speed ×
+    /// all modifier factors.
+    pub fn speed(&self, core: CoreId, t: f64) -> f64 {
+        let base = self.topo.cluster_of(core).base_speed;
+        self.mods
+            .iter()
+            .fold(base, |s, m| s * m.speed_factor(&self.topo, core, t))
+    }
+
+    /// Memory pressure on `cluster` at `t` (sum over modifiers, clamped
+    /// to 0.9 so rates never hit zero).
+    pub fn mem_pressure(&self, cluster: ClusterId, t: f64) -> f64 {
+        self.mods
+            .iter()
+            .map(|m| m.mem_pressure(&self.topo, cluster, t))
+            .sum::<f64>()
+            .min(0.9)
+    }
+
+    /// The earliest instant strictly after `t` at which any modifier
+    /// changes, or `None` if the environment is constant from `t` on.
+    pub fn next_change_after(&self, t: f64) -> Option<f64> {
+        self.mods
+            .iter()
+            .filter_map(|m| m.next_change_after(t))
+            .min_by(f64::total_cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx2() -> Arc<Topology> {
+        Arc::new(Topology::tx2())
+    }
+
+    #[test]
+    fn interference_free_uses_base_speeds() {
+        let e = Environment::interference_free(tx2());
+        assert_eq!(e.speed(CoreId(0), 0.0), 2.0); // denver
+        assert_eq!(e.speed(CoreId(3), 123.0), 1.0); // a57
+        assert_eq!(e.mem_pressure(ClusterId(0), 0.0), 0.0);
+        assert_eq!(e.next_change_after(0.0), None);
+    }
+
+    #[test]
+    fn corunner_halves_victim_core() {
+        let e = Environment::interference_free(tx2()).and(Modifier::compute_corunner(CoreId(0)));
+        assert_eq!(e.speed(CoreId(0), 1.0), 1.0); // 2.0 * 0.5
+        assert_eq!(e.speed(CoreId(1), 1.0), 2.0); // untouched sibling
+        assert_eq!(e.next_change_after(0.0), None); // infinite episode
+    }
+
+    #[test]
+    fn memory_corunner_pressures_whole_memory_domain() {
+        // TX2: one shared LPDDR4 controller — pressure reaches both
+        // clusters.
+        let e = Environment::interference_free(tx2()).and(Modifier::memory_corunner(CoreId(0)));
+        assert!(e.mem_pressure(ClusterId(0), 0.0) > 0.0);
+        assert!(e.mem_pressure(ClusterId(1), 0.0) > 0.0);
+        // Dual-socket Haswell: per-socket controllers — pressure stays on
+        // the victim's socket.
+        let h = Arc::new(Topology::haswell_2x8());
+        let e = Environment::interference_free(Arc::clone(&h))
+            .and(Modifier::memory_corunner(CoreId(0)));
+        assert!(e.mem_pressure(ClusterId(0), 0.0) > 0.0);
+        assert_eq!(e.mem_pressure(ClusterId(1), 0.0), 0.0);
+    }
+
+    #[test]
+    fn dvfs_square_wave_phases_and_changes() {
+        let e = Environment::interference_free(tx2()).and(Modifier::tx2_dvfs(ClusterId(0)));
+        let lo = 2.0 * 345.0 / 2035.0;
+        assert_eq!(e.speed(CoreId(0), 0.0), 2.0); // high phase
+        assert_eq!(e.speed(CoreId(0), 4.999), 2.0);
+        assert!((e.speed(CoreId(0), 5.0) - lo).abs() < 1e-12); // low phase
+        assert_eq!(e.speed(CoreId(0), 10.0), 2.0); // high again
+        // A57 cluster unaffected.
+        assert_eq!(e.speed(CoreId(2), 5.0), 1.0);
+        // Change points at every multiple of 5 s.
+        assert_eq!(e.next_change_after(0.0), Some(5.0));
+        assert_eq!(e.next_change_after(5.0), Some(10.0));
+        assert_eq!(e.next_change_after(7.3), Some(10.0));
+    }
+
+    #[test]
+    fn windowed_slowdown() {
+        let e = Environment::interference_free(tx2()).and(Modifier::Slowdown {
+            first_core: CoreId(2),
+            num_cores: 2,
+            factor: 0.25,
+            mem_pressure: 0.0,
+            from: 10.0,
+            until: 20.0,
+        });
+        assert_eq!(e.speed(CoreId(2), 5.0), 1.0);
+        assert_eq!(e.speed(CoreId(2), 10.0), 0.25);
+        assert_eq!(e.speed(CoreId(3), 19.9), 0.25);
+        assert_eq!(e.speed(CoreId(4), 15.0), 1.0); // outside range
+        assert_eq!(e.speed(CoreId(2), 20.0), 1.0);
+        assert_eq!(e.next_change_after(0.0), Some(10.0));
+        assert_eq!(e.next_change_after(10.0), Some(20.0));
+        assert_eq!(e.next_change_after(20.0), None);
+    }
+
+    #[test]
+    fn dvfs_change_points_always_strictly_advance() {
+        // Regression: a half-period that is not exactly representable in
+        // binary (0.0796/16) used to produce `next_change_after(t) == t`
+        // at the 15th edge, wedging the simulator in a same-instant
+        // event loop.
+        let e = Environment::interference_free(tx2()).and(Modifier::DvfsSquareWave {
+            cluster: ClusterId(0),
+            low_factor: 0.2,
+            half_period: 0.0796 / 16.0,
+            from: 0.0,
+            until: f64::INFINITY,
+        });
+        let mut t = 0.0;
+        for _ in 0..10_000 {
+            let next = e.next_change_after(t).expect("infinite wave keeps changing");
+            assert!(next > t, "no progress at t={t}");
+            t = next;
+        }
+    }
+
+    #[test]
+    fn pressure_clamped() {
+        let mut env = Environment::interference_free(tx2());
+        for _ in 0..5 {
+            env = env.and(Modifier::memory_corunner(CoreId(0)));
+        }
+        assert!(env.mem_pressure(ClusterId(0), 0.0) <= 0.9);
+    }
+
+    #[test]
+    fn modifiers_compose_multiplicatively() {
+        let e = Environment::interference_free(tx2())
+            .and(Modifier::compute_corunner(CoreId(0)))
+            .and(Modifier::tx2_dvfs(ClusterId(0)));
+        let lo = 345.0 / 2035.0;
+        // Low DVFS phase and co-runner at once.
+        assert!((e.speed(CoreId(0), 6.0) - 2.0 * 0.5 * lo).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,284 @@
+//! Execution tracing: per-core task spans, utilisation accounting and an
+//! ASCII Gantt view.
+//!
+//! Tracing is opt-in ([`crate::Simulator::record_trace`]) because the
+//! paper-sized runs commit tens of thousands of tasks; when enabled, one
+//! [`Span`] is recorded per participating core per assembly.
+
+use das_core::TaskTypeId;
+use das_dag::TaskId;
+use std::fmt::Write as _;
+
+/// One core's participation in one task assembly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    /// The executing core.
+    pub core: usize,
+    /// Simulated start of execution (rendezvous complete).
+    pub start: f64,
+    /// Simulated commit time.
+    pub end: f64,
+    /// The task.
+    pub task: TaskId,
+    /// Task type (indexes the PTT that was trained by this span).
+    pub ty: TaskTypeId,
+    /// `(leader, width)` of the place.
+    pub place: (usize, usize),
+    /// Application tag (layer / iteration).
+    pub tag: u64,
+}
+
+impl Span {
+    /// Span length in simulated seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A completed run's trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All spans, in commit order.
+    pub spans: Vec<Span>,
+    /// Total simulated time of the run.
+    pub makespan: f64,
+    /// Number of cores of the platform.
+    pub num_cores: usize,
+}
+
+impl Trace {
+    /// Busy fraction of each core over the makespan.
+    pub fn utilization(&self) -> Vec<f64> {
+        let mut busy = vec![0.0; self.num_cores];
+        for s in &self.spans {
+            busy[s.core] += s.duration();
+        }
+        if self.makespan > 0.0 {
+            for b in &mut busy {
+                *b /= self.makespan;
+            }
+        }
+        busy
+    }
+
+    /// Spans executed by `core`, in time order.
+    pub fn spans_of_core(&self, core: usize) -> Vec<Span> {
+        let mut v: Vec<Span> = self.spans.iter().filter(|s| s.core == core).copied().collect();
+        v.sort_by(|a, b| a.start.total_cmp(&b.start));
+        v
+    }
+
+    /// Verify the physical invariant that no core executes two spans at
+    /// once. Returns the first overlapping pair if any.
+    pub fn find_overlap(&self) -> Option<(Span, Span)> {
+        for core in 0..self.num_cores {
+            let v = self.spans_of_core(core);
+            for w in v.windows(2) {
+                if w[1].start < w[0].end - 1e-12 {
+                    return Some((w[0], w[1]));
+                }
+            }
+        }
+        None
+    }
+
+    /// Export the trace in the Chrome Trace Event JSON format
+    /// (`chrome://tracing`, Perfetto, Speedscope all load it). One
+    /// complete (`"ph":"X"`) event per span; cores map to Chrome's
+    /// thread ids, so the UI renders the same rows as [`Trace::gantt`].
+    /// Timestamps are microseconds, as the format requires.
+    ///
+    /// The JSON is emitted by hand — the format is flat and all fields
+    /// are numbers or already-escaped short strings, so pulling in a
+    /// serialisation crate is not warranted.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 128);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{} {}\",\"cat\":\"task\",\"ph\":\"X\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"place\":\"(C{},{})\",\"tag\":{}}}}}",
+                s.ty,
+                s.task,
+                s.start * 1e6,
+                s.duration() * 1e6,
+                s.core,
+                s.place.0,
+                s.place.1,
+                s.tag,
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Per-task-type aggregate: `(spans, total busy seconds, mean span
+    /// duration)`, sorted by type id. The quick answer to "where did the
+    /// time go" without loading the full trace into a viewer.
+    pub fn by_type(&self) -> Vec<(TaskTypeId, usize, f64, f64)> {
+        let mut agg: std::collections::BTreeMap<u16, (usize, f64)> = Default::default();
+        for s in &self.spans {
+            let e = agg.entry(s.ty.0).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += s.duration();
+        }
+        agg.into_iter()
+            .map(|(ty, (n, total))| (TaskTypeId(ty), n, total, total / n as f64))
+            .collect()
+    }
+
+    /// An ASCII Gantt chart: one row per core, `cols` characters of
+    /// timeline; each cell shows the task type digit occupying most of
+    /// that time slice ('.' = idle).
+    pub fn gantt(&self, cols: usize) -> String {
+        assert!(cols > 0);
+        let mut out = String::new();
+        let dt = self.makespan / cols as f64;
+        if dt <= 0.0 {
+            return out;
+        }
+        for core in 0..self.num_cores {
+            let spans = self.spans_of_core(core);
+            let _ = write!(out, "C{core:<3}|");
+            for c in 0..cols {
+                let (t0, t1) = (c as f64 * dt, (c + 1) as f64 * dt);
+                // Busy time per task type within the slice.
+                let mut best: Option<(f64, u16)> = None;
+                let mut busy = 0.0;
+                let mut per_ty: std::collections::BTreeMap<u16, f64> = Default::default();
+                for s in &spans {
+                    let overlap = (s.end.min(t1) - s.start.max(t0)).max(0.0);
+                    if overlap > 0.0 {
+                        busy += overlap;
+                        *per_ty.entry(s.ty.0).or_insert(0.0) += overlap;
+                    }
+                }
+                for (ty, v) in per_ty {
+                    if best.is_none_or(|(b, _)| v > b) {
+                        best = Some((v, ty));
+                    }
+                }
+                let ch = if busy < dt * 0.5 {
+                    '.'
+                } else {
+                    char::from_digit(u32::from(best.map(|(_, t)| t).unwrap_or(0) % 10), 10)
+                        .unwrap_or('#')
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(core: usize, start: f64, end: f64, ty: u16) -> Span {
+        Span {
+            core,
+            start,
+            end,
+            task: TaskId(0),
+            ty: TaskTypeId(ty),
+            place: (core, 1),
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let t = Trace {
+            spans: vec![span(0, 0.0, 1.0, 0), span(1, 0.0, 0.5, 1)],
+            makespan: 2.0,
+            num_cores: 2,
+        };
+        let u = t.utilization();
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let ok = Trace {
+            spans: vec![span(0, 0.0, 1.0, 0), span(0, 1.0, 2.0, 0)],
+            makespan: 2.0,
+            num_cores: 1,
+        };
+        assert_eq!(ok.find_overlap(), None);
+        let bad = Trace {
+            spans: vec![span(0, 0.0, 1.0, 0), span(0, 0.5, 2.0, 0)],
+            makespan: 2.0,
+            num_cores: 1,
+        };
+        assert!(bad.find_overlap().is_some());
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed_and_complete() {
+        let t = Trace {
+            spans: vec![span(0, 0.0, 1.0, 3), span(1, 0.5, 2.0, 4)],
+            makespan: 2.0,
+            num_cores: 2,
+        };
+        let j = t.to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 2);
+        assert!(j.contains("\"ts\":0.000"));
+        assert!(j.contains("\"dur\":1000000.000")); // 1 s in µs
+        assert!(j.contains("\"tid\":1"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_json_empty_trace() {
+        let t = Trace::default();
+        let j = t.to_chrome_json();
+        assert!(j.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn by_type_aggregates() {
+        let t = Trace {
+            spans: vec![
+                span(0, 0.0, 1.0, 3),
+                span(1, 0.0, 2.0, 3),
+                span(0, 2.0, 2.5, 7),
+            ],
+            makespan: 3.0,
+            num_cores: 2,
+        };
+        let agg = t.by_type();
+        assert_eq!(agg.len(), 2);
+        let (ty, n, total, mean) = agg[0];
+        assert_eq!((ty, n), (TaskTypeId(3), 2));
+        assert!((total - 3.0).abs() < 1e-12);
+        assert!((mean - 1.5).abs() < 1e-12);
+        assert_eq!(agg[1].0, TaskTypeId(7));
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_idle() {
+        let t = Trace {
+            spans: vec![span(0, 0.0, 1.0, 3)],
+            makespan: 2.0,
+            num_cores: 2,
+        };
+        let g = t.gantt(10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('3'));
+        assert!(lines[0].ends_with("....."));
+        assert!(lines[1].ends_with(".........."));
+    }
+}

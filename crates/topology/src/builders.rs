@@ -1,0 +1,177 @@
+//! Ready-made topologies for the platforms evaluated in the paper, plus
+//! generic shapes for tests and experiments.
+
+use crate::Topology;
+
+impl Topology {
+    /// NVIDIA Jetson TX2 (§4.2.1): a dual-core NVIDIA Denver 2 cluster and
+    /// a quad-core ARM Cortex-A57 cluster, each with a 2 MB shared L2.
+    ///
+    /// Cores 0–1 are Denver (fast, 64 KiB L1d), cores 2–5 are A57
+    /// (32 KiB L1d). The Denver static speed hint of 2.0 reflects the
+    /// paper's observation that "the Denver cores are generally faster
+    /// than the A57 cores".
+    pub fn tx2() -> Topology {
+        Topology::builder()
+            .mem_domain(0) // one shared LPDDR4 controller for the whole SoC
+            .cluster_with_caches("denver", 2, 2.0, 64, 2048)
+            .cluster_with_caches("a57", 4, 1.0, 32, 2048)
+            .build()
+    }
+
+    /// The 16-core view of the dual-socket Haswell node used for the
+    /// K-means experiment (Fig. 9): two symmetric 8-core sockets. Place
+    /// labels observed in Fig. 9(c) — (0,8), (8,8), (8,4) — correspond to
+    /// this shape.
+    pub fn haswell_2x8() -> Topology {
+        Topology::builder()
+            .cluster_with_caches("haswell-s0", 8, 1.0, 32, 25600)
+            .cluster_with_caches("haswell-s1", 8, 1.0, 32, 25600)
+            .build()
+    }
+
+    /// One full dual-socket 10-core Intel Xeon E5-2650v3 node (§4.2.1).
+    pub fn haswell_2x10() -> Topology {
+        Topology::builder()
+            .cluster_with_caches("haswell-s0", 10, 1.0, 32, 25600)
+            .cluster_with_caches("haswell-s1", 10, 1.0, 32, 25600)
+            .build()
+    }
+
+    /// The four-node Haswell cluster of the distributed 2-D Heat
+    /// experiment (Fig. 10): 4 nodes × 2 sockets × 10 cores = 80 cores.
+    /// Each socket is a resource partition; sockets carry their node id so
+    /// node-affine tasks (MPI communication TAOs) can be constrained.
+    pub fn haswell_cluster(nodes: usize) -> Topology {
+        assert!(nodes > 0);
+        let mut b = Topology::builder();
+        for n in 0..nodes {
+            b = b
+                .node(n)
+                .cluster_with_caches(&format!("n{n}s0"), 10, 1.0, 32, 25600)
+                .cluster_with_caches(&format!("n{n}s1"), 10, 1.0, 32, 25600);
+        }
+        b.build()
+    }
+
+    /// A single symmetric cluster of `n` cores — the "no structure"
+    /// baseline used in unit tests and micro-benchmarks.
+    pub fn symmetric(n: usize) -> Topology {
+        Topology::builder().cluster("sym", n, 1.0).build()
+    }
+
+    /// A generic big.LITTLE shape: `big` fast cores (speed `ratio`) and
+    /// `little` baseline cores, two partitions.
+    pub fn big_little(big: usize, little: usize, ratio: f64) -> Topology {
+        Topology::builder()
+            .mem_domain(0) // SoC: one memory controller
+            .cluster_with_caches("big", big, ratio, 64, 2048)
+            .cluster_with_caches("little", little, 1.0, 32, 512)
+            .build()
+    }
+
+    /// An NVIDIA Jetson AGX Xavier-like shape: 8 Carmel cores organised as
+    /// four dual-core clusters, each pair sharing a 2 MiB L2. Symmetric in
+    /// speed but with many small partitions — a useful stress shape for
+    /// the global search (16 place slots across 4 clusters).
+    pub fn agx_xavier() -> Topology {
+        let mut b = Topology::builder().mem_domain(0);
+        for i in 0..4 {
+            b = b.cluster_with_caches(&format!("carmel{i}"), 2, 1.0, 64, 2048);
+        }
+        b.build()
+    }
+
+    /// An Apple-M1-like shape: 4 performance cores (fast, big caches) and
+    /// 4 efficiency cores. Differs from [`Topology::tx2`] in being wider
+    /// on the fast side, so molding on the fast cluster is profitable —
+    /// the opposite regime from the TX2 where the fast cluster maxes out
+    /// at width 2.
+    pub fn m1_like() -> Topology {
+        Topology::builder()
+            .mem_domain(0) // unified memory
+            .cluster_with_caches("perf", 4, 2.2, 128, 12288)
+            .cluster_with_caches("eff", 4, 1.0, 64, 4096)
+            .build()
+    }
+
+    /// A generic homogeneous distributed machine: `nodes` nodes, each with
+    /// `sockets` sockets of `cores_per_socket` cores. `haswell_cluster(n)`
+    /// is `grid(n, 2, 10)` with Haswell cache sizes.
+    pub fn grid(nodes: usize, sockets: usize, cores_per_socket: usize) -> Topology {
+        assert!(nodes > 0 && sockets > 0 && cores_per_socket > 0);
+        let mut b = Topology::builder();
+        for n in 0..nodes {
+            b = b.node(n);
+            for s in 0..sockets {
+                b = b.cluster_with_caches(
+                    &format!("n{n}s{s}"),
+                    cores_per_socket,
+                    1.0,
+                    32,
+                    1024 * cores_per_socket,
+                );
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterId, CoreId};
+
+    #[test]
+    fn haswell_cluster_shape() {
+        let t = Topology::haswell_cluster(4);
+        assert_eq!(t.num_cores(), 80);
+        assert_eq!(t.num_clusters(), 8);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.cluster_of(CoreId(79)).node, 3);
+        assert_eq!(t.cluster(ClusterId(0)).valid_widths(), &[1, 2, 4, 8, 10]);
+    }
+
+    #[test]
+    fn symmetric_single_partition() {
+        let t = Topology::symmetric(16);
+        assert_eq!(t.num_clusters(), 1);
+        assert_eq!(t.cluster(ClusterId(0)).valid_widths(), &[1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn big_little_speed_ordering() {
+        let t = Topology::big_little(2, 4, 2.5);
+        assert_eq!(t.fastest_cluster().name, "big");
+        assert!(t.cluster(ClusterId(0)).base_speed > t.cluster(ClusterId(1)).base_speed);
+    }
+
+    #[test]
+    fn agx_xavier_four_pairs() {
+        let t = Topology::agx_xavier();
+        assert_eq!(t.num_cores(), 8);
+        assert_eq!(t.num_clusters(), 4);
+        for c in t.clusters() {
+            assert_eq!(c.valid_widths(), &[1, 2]);
+        }
+        // 8 width-1 places + 4 width-2 leaders × 2 leaders each = 16.
+        assert_eq!(t.places().count(), 16);
+    }
+
+    #[test]
+    fn m1_like_fast_cluster_molds_to_four() {
+        let t = Topology::m1_like();
+        assert_eq!(t.fastest_cluster().name, "perf");
+        assert_eq!(t.fastest_cluster().valid_widths(), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn grid_matches_haswell_cluster_shape() {
+        let g = Topology::grid(4, 2, 10);
+        let h = Topology::haswell_cluster(4);
+        assert_eq!(g.num_cores(), h.num_cores());
+        assert_eq!(g.num_clusters(), h.num_clusters());
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.all_widths(), h.all_widths());
+    }
+}

@@ -1,0 +1,72 @@
+//! Human-readable topology summaries.
+
+use crate::Topology;
+use std::fmt;
+
+impl fmt::Display for Topology {
+    /// One line per cluster, in the style of `hwloc`'s `lstopo` text
+    /// output:
+    ///
+    /// ```text
+    /// topology: 6 cores, 2 clusters, 1 node
+    ///   cluster0 "denver"  node0 cores 0-1  speed 2.0  L1 64KiB L2 2048KiB widths {1,2}
+    ///   cluster1 "a57"     node0 cores 2-5  speed 1.0  L1 32KiB L2 2048KiB widths {1,2,4}
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "topology: {} cores, {} clusters, {} node{}",
+            self.num_cores(),
+            self.num_clusters(),
+            self.num_nodes(),
+            if self.num_nodes() == 1 { "" } else { "s" },
+        )?;
+        let name_w = self
+            .clusters()
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(0);
+        for c in self.clusters() {
+            let widths: Vec<String> = c.valid_widths().iter().map(|w| w.to_string()).collect();
+            writeln!(
+                f,
+                "  {} {:name_w$}  node{} cores {}-{}  speed {:.1}  L1 {}KiB L2 {}KiB widths {{{}}}",
+                c.id,
+                format!("\"{}\"", c.name),
+                c.node,
+                c.first_core.0,
+                c.first_core.0 + c.num_cores - 1,
+                c.base_speed,
+                c.l1_kib,
+                c.l2_kib,
+                widths.join(","),
+                name_w = name_w + 2,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_every_cluster() {
+        let t = Topology::tx2();
+        let s = t.to_string();
+        assert!(s.contains("6 cores"));
+        assert!(s.contains("denver"));
+        assert!(s.contains("a57"));
+        assert!(s.contains("widths {1,2,4}"));
+    }
+
+    #[test]
+    fn display_pluralizes_nodes() {
+        let one = Topology::tx2().to_string();
+        assert!(one.contains("1 node\n"), "{one}");
+        let four = Topology::haswell_cluster(4).to_string();
+        assert!(four.contains("4 nodes"), "{four}");
+    }
+}

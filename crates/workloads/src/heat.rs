@@ -1,0 +1,474 @@
+//! 2-D Heat diffusion (iterative 5-point Jacobi), the paper's distributed
+//! application (§4.2.2, Fig. 10).
+//!
+//! Four forms share one numerical kernel:
+//!
+//! * [`sequential`] — reference solver;
+//! * [`run_shared`] — one unrolled task DAG on `das-runtime`
+//!   (shared-memory, double-buffered, block tasks with neighbour
+//!   dependencies);
+//! * [`run_distributed`] — one runtime *per rank*, ghost rows exchanged
+//!   through `das-msg` inside **high-priority communication tasks**, the
+//!   paper's "MPI calls encapsulated into specific TAOs [...] marked as
+//!   high priority";
+//! * [`cluster_dag`] — the Fig. 10 shape for `das-sim`: 4 nodes × 2
+//!   sockets, node-affine comm tasks with a network release delay.
+
+use crate::types;
+use das_core::{Priority, TaskMeta};
+use das_dag::Dag;
+use das_msg::Endpoint;
+use das_runtime::{Runtime, TaskGraph};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// A grid buffer shared by disjointly-writing tasks.
+///
+/// # Safety contract
+/// Tasks may call [`SharedGrid::slice_mut`] only on row ranges no other
+/// concurrently-running task writes or reads-for-this-iteration; the DAG
+/// edges built in this module enforce that discipline (see the block
+/// dependency analysis in `run_shared`).
+struct SharedGrid {
+    data: UnsafeCell<Vec<f64>>,
+    cols: usize,
+}
+
+// SAFETY: all concurrent access goes through the row-disjointness
+// protocol documented on the type; the DAG construction guarantees it.
+unsafe impl Sync for SharedGrid {}
+unsafe impl Send for SharedGrid {}
+
+impl SharedGrid {
+    fn new(data: Vec<f64>, cols: usize) -> Self {
+        assert_eq!(data.len() % cols, 0);
+        SharedGrid {
+            data: UnsafeCell::new(data),
+            cols,
+        }
+    }
+
+    /// Read-only view of the whole grid.
+    ///
+    /// # Safety
+    /// No concurrent writer may exist for the rows being read.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn raw(&self) -> &mut Vec<f64> {
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+/// Initial condition used across all variants: cold grid with a hot top
+/// edge and a warm left edge — enough structure that indexing bugs show
+/// up numerically.
+pub fn default_init(r: usize, c: usize, rows: usize, cols: usize) -> f64 {
+    if r == 0 {
+        100.0
+    } else if c == 0 {
+        50.0
+    } else if r == rows - 1 || c == cols - 1 {
+        0.0
+    } else {
+        0.0
+    }
+}
+
+/// Sequential reference solver: `iters` Jacobi sweeps over a `rows×cols`
+/// grid with fixed (Dirichlet) boundary.
+pub fn sequential(rows: usize, cols: usize, iters: usize) -> Vec<f64> {
+    assert!(rows >= 3 && cols >= 3);
+    let mut a: Vec<f64> = (0..rows * cols)
+        .map(|i| default_init(i / cols, i % cols, rows, cols))
+        .collect();
+    let mut b = a.clone();
+    for _ in 0..iters {
+        for r in 1..rows - 1 {
+            for c in 1..cols - 1 {
+                let i = r * cols + c;
+                b[i] = 0.25 * (a[i - cols] + a[i + cols] + a[i - 1] + a[i + 1]);
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+    }
+    a
+}
+
+/// Shared-memory task-parallel solver: the whole computation is one
+/// unrolled DAG (`iters` layers of `blocks` moldable block tasks). Block
+/// `b` of iteration `i+1` depends on blocks `b−1, b, b+1` of iteration
+/// `i`: a block reads source rows `[lo−1, hi]`, which only those three
+/// predecessors write, and writes destination rows `[lo, hi)`, which only
+/// those three read during iteration `i` — so the edges make the
+/// unsynchronised buffer access race-free.
+pub fn run_shared(
+    rt: &Runtime,
+    rows: usize,
+    cols: usize,
+    iters: usize,
+    blocks: usize,
+) -> Vec<f64> {
+    assert!(rows >= 3 && cols >= 3 && blocks >= 1 && iters >= 1);
+    let interior = rows - 2;
+    let blocks = blocks.min(interior);
+    let init: Vec<f64> = (0..rows * cols)
+        .map(|i| default_init(i / cols, i % cols, rows, cols))
+        .collect();
+    let bufs = [
+        Arc::new(SharedGrid::new(init.clone(), cols)),
+        Arc::new(SharedGrid::new(init, cols)),
+    ];
+
+    // Row range of block b (interior rows only).
+    let bounds: Vec<(usize, usize)> = (0..blocks)
+        .map(|b| {
+            let lo = 1 + b * interior / blocks;
+            let hi = 1 + (b + 1) * interior / blocks;
+            (lo, hi)
+        })
+        .collect();
+
+    let mut g = TaskGraph::new("heat-shared");
+    let mut prev: Vec<das_dag::TaskId> = Vec::new();
+    for it in 0..iters {
+        let src = Arc::clone(&bufs[it % 2]);
+        let dst = Arc::clone(&bufs[(it + 1) % 2]);
+        let mut cur = Vec::with_capacity(blocks);
+        for (b, &(lo, hi)) in bounds.iter().enumerate() {
+            let src = Arc::clone(&src);
+            let dst = Arc::clone(&dst);
+            let prio = if b == 0 { Priority::High } else { Priority::Low };
+            let id = g.add(types::HEAT_COMPUTE, prio, move |ctx| {
+                // SAFETY: DAG edges guarantee exclusive write access to
+                // rows [lo, hi) of dst and stable reads of src rows
+                // [lo-1, hi]; ranks partition rows cyclically so writes
+                // stay disjoint within the task too.
+                let s = unsafe { src.raw() };
+                let d = unsafe { dst.raw() };
+                let cols = src.cols;
+                for r in ((lo + ctx.rank)..hi).step_by(ctx.width) {
+                    for c in 1..cols - 1 {
+                        let i = r * cols + c;
+                        d[i] = 0.25 * (s[i - cols] + s[i + cols] + s[i - 1] + s[i + 1]);
+                    }
+                }
+            });
+            cur.push(id);
+            if it > 0 {
+                let lo_dep = b.saturating_sub(1);
+                let hi_dep = (b + 1).min(blocks - 1);
+                for d in lo_dep..=hi_dep {
+                    g.add_edge(prev[d], id);
+                }
+            }
+        }
+        prev = cur;
+    }
+    rt.run(&g).expect("heat graph is valid");
+
+    let final_buf = &bufs[iters % 2];
+    // SAFETY: the runtime has quiesced; no concurrent access remains.
+    let out = unsafe { final_buf.raw() }.clone();
+    drop(bufs);
+    out
+}
+
+/// Distributed solver: `ranks` threads, each owning a horizontal slab
+/// with two ghost rows and its own `das-runtime` instance. Every
+/// iteration runs a small task graph per rank: one **high-priority
+/// communication task** (ghost exchange through `das-msg`, the paper's
+/// MPI TAO) feeding `blocks` compute tasks. Returns the assembled global
+/// grid after `iters` iterations.
+pub fn run_distributed(
+    mk_runtime: impl Fn(usize) -> Runtime + Sync,
+    ranks: usize,
+    rows: usize,
+    cols: usize,
+    iters: usize,
+    blocks: usize,
+) -> Vec<f64> {
+    assert!(ranks >= 1 && rows >= ranks + 2 && cols >= 3);
+    let comm = das_msg::Communicator::new(ranks);
+    let interior = rows - 2;
+
+    let slabs: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = comm
+            .endpoints()
+            .into_iter()
+            .map(|ep| {
+                let mk = &mk_runtime;
+                let r = ep.rank();
+                s.spawn(move || rank_main(ep, mk(r), rows, cols, iters, blocks))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Assemble: global boundary rows + each rank's interior slab.
+    let mut out: Vec<f64> = (0..rows * cols)
+        .map(|i| default_init(i / cols, i % cols, rows, cols))
+        .collect();
+    for (rank, slab) in slabs.iter().enumerate() {
+        let lo = 1 + rank * interior / ranks;
+        let hi = 1 + (rank + 1) * interior / ranks;
+        assert_eq!(slab.len(), (hi - lo) * cols);
+        out[lo * cols..hi * cols].copy_from_slice(slab);
+    }
+    out
+}
+
+/// Per-rank driver of [`run_distributed`].
+fn rank_main(
+    ep: Endpoint,
+    rt: Runtime,
+    rows: usize,
+    cols: usize,
+    iters: usize,
+    blocks: usize,
+) -> Vec<f64> {
+    let ranks = ep.size();
+    let rank = ep.rank();
+    let interior = rows - 2;
+    let lo = 1 + rank * interior / ranks; // global row of first owned row
+    let hi = 1 + (rank + 1) * interior / ranks;
+    let own = hi - lo;
+    let blocks = blocks.min(own).max(1);
+    let local_rows = own + 2; // + two ghost rows
+
+    // local row 0 = global row lo-1, local row own+1 = global row hi.
+    let init_local = |buf: &mut Vec<f64>| {
+        buf.clear();
+        for lr in 0..local_rows {
+            let gr = lo - 1 + lr;
+            for c in 0..cols {
+                buf.push(default_init(gr, c, rows, cols));
+            }
+        }
+    };
+    let mut v0 = Vec::new();
+    let mut v1 = Vec::new();
+    init_local(&mut v0);
+    init_local(&mut v1);
+    let bufs = [
+        Arc::new(SharedGrid::new(v0, cols)),
+        Arc::new(SharedGrid::new(v1, cols)),
+    ];
+
+    for it in 0..iters {
+        let src = Arc::clone(&bufs[it % 2]);
+        let dst = Arc::clone(&bufs[(it + 1) % 2]);
+        let mut g = TaskGraph::new(format!("heat-r{rank}-it{it}"));
+
+        // Ghost exchange: update src's ghost rows from the neighbours'
+        // boundary rows of the *previous* iteration. High priority — this
+        // task gates the whole iteration (and, transitively, the
+        // neighbouring ranks' next iterations).
+        let ep_c = ep.clone();
+        let src_c = Arc::clone(&src);
+        let comm_task = g.add_meta(
+            TaskMeta::new(types::HEAT_COMM, Priority::High),
+            move |ctx| {
+                if ctx.rank != 0 {
+                    return; // protocol work is serial; extra ranks idle
+                }
+                // One tag per iteration: the mailbox key is (source,
+                // tag), so the two directions of one boundary — and the
+                // two boundaries of an interior rank — cannot collide.
+                // Both partners of an exchange must use the SAME tag
+                // (sendrecv sends and receives under one key).
+                let tag = it as u32;
+                // SAFETY: this task runs before any compute task of the
+                // iteration (DAG edge); ghost rows are not read until then.
+                let s = unsafe { src_c.raw() };
+                if rank > 0 {
+                    let top: Vec<f64> = s[cols..2 * cols].to_vec();
+                    let recv = ep_c.sendrecv(rank - 1, tag, top);
+                    s[..cols].copy_from_slice(&recv);
+                }
+                if rank + 1 < ranks {
+                    let bottom: Vec<f64> = s[own * cols..(own + 1) * cols].to_vec();
+                    let recv = ep_c.sendrecv(rank + 1, tag, bottom);
+                    s[(own + 1) * cols..].copy_from_slice(&recv);
+                }
+            },
+        );
+
+        for b in 0..blocks {
+            let blo = 1 + b * own / blocks; // local row
+            let bhi = 1 + (b + 1) * own / blocks;
+            let src = Arc::clone(&src);
+            let dst = Arc::clone(&dst);
+            let glo = lo; // global offset for boundary-column logic
+            let id = g.add(types::HEAT_COMPUTE, Priority::Low, move |ctx| {
+                // SAFETY: compute tasks of one iteration write disjoint
+                // local rows of dst and only read src (whose ghosts the
+                // comm task, a DAG predecessor, finalized).
+                let s = unsafe { src.raw() };
+                let d = unsafe { dst.raw() };
+                let _ = glo;
+                for lr in ((blo + ctx.rank)..bhi).step_by(ctx.width) {
+                    for c in 1..cols - 1 {
+                        let i = lr * cols + c;
+                        d[i] = 0.25 * (s[i - cols] + s[i + cols] + s[i - 1] + s[i + 1]);
+                    }
+                }
+            });
+            g.add_edge(comm_task, id);
+        }
+        rt.run(&g).expect("heat rank graph is valid");
+        // Copy this iteration's results' ghost-adjacent state: dst ghosts
+        // keep stale values, refreshed by next iteration's exchange from
+        // src==dst swap. Column boundaries are fixed and pre-initialised.
+        ep.barrier();
+    }
+
+    let final_buf = &bufs[iters % 2];
+    // SAFETY: all runtimes quiesced and barrier passed.
+    let all = unsafe { final_buf.raw() };
+    all[cols..(own + 1) * cols].to_vec()
+}
+
+/// The Fig. 10 simulation DAG: `nodes` nodes in a chain, each running
+/// `chunks` compute tasks per iteration, gated by a node-affine
+/// high-priority communication task with a `comm_delay` network release
+/// latency. Iteration `k`'s comm task of node `n` waits for node `n`'s
+/// own chunks *and* the adjacent nodes' boundary chunks of iteration
+/// `k−1` — the ghost-exchange dependency structure of MPI heat.
+pub fn cluster_dag(nodes: usize, chunks: usize, iters: usize, comm_delay: f64) -> Dag {
+    assert!(nodes >= 1 && chunks >= 1 && iters >= 1);
+    let mut d = Dag::new(format!("heat-cluster-n{nodes}"));
+    // prev_chunks[n] = chunk tasks of node n in the previous iteration.
+    let mut prev_chunks: Vec<Vec<das_dag::TaskId>> = vec![Vec::new(); nodes];
+    for it in 0..iters {
+        let mut cur: Vec<Vec<das_dag::TaskId>> = Vec::with_capacity(nodes);
+        for n in 0..nodes {
+            let comm = d.add_task_meta(
+                TaskMeta::new(types::HEAT_COMM, Priority::High).with_affinity(n),
+            );
+            d.set_tag(comm, it as u64);
+            if comm_delay > 0.0 && it > 0 {
+                d.set_release_delay(comm, comm_delay);
+            }
+            if it > 0 {
+                // Own previous chunks (local barrier before exchange).
+                for &t in &prev_chunks[n] {
+                    d.add_edge(t, comm);
+                }
+                // Neighbour boundary chunks (ghost rows to receive).
+                if n > 0 {
+                    if let Some(&t) = prev_chunks[n - 1].last() {
+                        d.add_edge(t, comm);
+                    }
+                }
+                if n + 1 < nodes {
+                    if let Some(&t) = prev_chunks[n + 1].first() {
+                        d.add_edge(t, comm);
+                    }
+                }
+            }
+            let mut mine = Vec::with_capacity(chunks);
+            for _ in 0..chunks {
+                let w = d.add_task_meta(
+                    TaskMeta::new(types::HEAT_COMPUTE, Priority::Low).with_affinity(n),
+                );
+                d.set_tag(w, it as u64);
+                d.add_edge(comm, w);
+                mine.push(w);
+            }
+            cur.push(mine);
+        }
+        prev_chunks = cur;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_core::Policy;
+    use das_topology::Topology;
+
+    #[test]
+    fn sequential_conserves_boundary() {
+        let rows = 12;
+        let cols = 10;
+        let g = sequential(rows, cols, 25);
+        for c in 0..cols {
+            assert_eq!(g[c], 100.0, "top edge fixed");
+        }
+        for r in 1..rows {
+            assert_eq!(g[r * cols], 50.0, "left edge fixed");
+        }
+        // Interior warmed up by diffusion from the hot edges.
+        assert!(g[1 * cols + 1] > 0.0);
+    }
+
+    #[test]
+    fn shared_matches_sequential() {
+        let (rows, cols, iters) = (18, 14, 12);
+        let reference = sequential(rows, cols, iters);
+        for policy in [Policy::Rws, Policy::RwsmC, Policy::DamC] {
+            let rt = Runtime::new(Arc::new(Topology::symmetric(4)), policy);
+            let got = run_shared(&rt, rows, cols, iters, 4);
+            for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "{policy} mismatch at {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_single_block_single_iter() {
+        let reference = sequential(5, 5, 1);
+        let rt = Runtime::new(Arc::new(Topology::symmetric(2)), Policy::Rws);
+        let got = run_shared(&rt, 5, 5, 1, 1);
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let (rows, cols, iters) = (20, 12, 10);
+        let reference = sequential(rows, cols, iters);
+        let got = run_distributed(
+            |_rank| Runtime::new(Arc::new(Topology::symmetric(2)), Policy::DamC),
+            3,
+            rows,
+            cols,
+            iters,
+            2,
+        );
+        for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
+            assert!((a - b).abs() < 1e-12, "mismatch at {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn distributed_single_rank_degenerates_to_shared() {
+        let reference = sequential(10, 8, 5);
+        let got = run_distributed(
+            |_| Runtime::new(Arc::new(Topology::symmetric(2)), Policy::Rws),
+            1,
+            10,
+            8,
+            5,
+            2,
+        );
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn cluster_dag_shape() {
+        let d = cluster_dag(4, 16, 10, 1e-3);
+        d.validate().unwrap();
+        assert_eq!(d.len(), 4 * 17 * 10);
+        // One high-priority comm task per node per iteration.
+        assert_eq!(d.num_high_priority(), 40);
+        // Comm tasks are node-affine.
+        for (_, n) in d.iter() {
+            assert!(n.meta.node_affinity.is_some());
+        }
+        // Roots: iteration-0 comm tasks only.
+        assert_eq!(d.roots().len(), 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! Robustness sweep over the interference anomaly suite.
+//!
+//! The paper evaluates two interference scenarios (co-runner, DVFS); this
+//! example sweeps the full HPAS-style [`Scenario`] suite — CPU occupancy,
+//! memory-bandwidth hogging, cache thrashing, DVFS, power staircases,
+//! rolling and random interference — and reports every scheduler's
+//! throughput under each, normalised to random work stealing.
+//!
+//! ```sh
+//! cargo run --release --example anomaly_sweep
+//! ```
+
+use das::core::{Policy, TaskTypeId};
+use das::dag::generators;
+use das::sim::{Scenario, SimConfig, Simulator};
+use das::topology::Topology;
+use das::workloads::cost::PaperCost;
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(Topology::tx2());
+    let dag = generators::layered(TaskTypeId(0), 3, 1500);
+    println!(
+        "workload: layered MatMul DAG, parallelism 3, {} tasks",
+        dag.len()
+    );
+    println!("platform:\n{topo}");
+
+    let policies = [Policy::Rws, Policy::Fa, Policy::DamC, Policy::DamP];
+    print!("{:<16}", "scenario");
+    for p in policies {
+        print!("{:>10}", p.name());
+    }
+    println!("{:>12}", "best/RWS");
+
+    for scenario in Scenario::suite(&topo) {
+        let mut row = Vec::new();
+        for policy in policies {
+            let mut sim = Simulator::new(
+                SimConfig::new(Arc::clone(&topo), policy).cost(Arc::new(PaperCost::new())),
+            );
+            sim.set_env(scenario.environment(Arc::clone(&topo)));
+            let st = sim.run(&dag).expect("sim run");
+            row.push(st.throughput());
+        }
+        print!("{:<16}", scenario.name);
+        for v in &row {
+            print!("{v:>10.0}");
+        }
+        let best = row.iter().cloned().fold(0.0f64, f64::max);
+        println!("{:>11.2}x", best / row[0]);
+    }
+
+    println!(
+        "\nReading: the dynamic schedulers should dominate whenever the anomaly\n\
+         creates core-to-core asymmetry (occupancy, thrash, staircase); under\n\
+         machine-wide or fast-moving noise the gap narrows — no scheduler can\n\
+         dodge interference that is everywhere at once."
+    );
+}

@@ -1,0 +1,58 @@
+//! Export a simulated run as a Chrome trace (`chrome://tracing`,
+//! Perfetto, Speedscope) plus the built-in ASCII Gantt view.
+//!
+//! ```sh
+//! cargo run --release --example chrome_trace [out.json]
+//! ```
+
+use das::core::{Policy, TaskTypeId};
+use das::dag::generators;
+use das::sim::{Environment, Modifier, SimConfig, Simulator};
+use das::topology::{ClusterId, CoreId, Topology};
+use das::workloads::cost::PaperCost;
+use std::sync::Arc;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "das-trace.json".to_string());
+
+    let topo = Arc::new(Topology::tx2());
+    let dag = generators::layered(TaskTypeId(0), 4, 120);
+
+    let mut sim = Simulator::new(
+        SimConfig::new(Arc::clone(&topo), Policy::DamC).cost(Arc::new(PaperCost::new())),
+    );
+    sim.set_env(
+        Environment::interference_free(Arc::clone(&topo))
+            .and(Modifier::compute_corunner(CoreId(0)))
+            .and(Modifier::tx2_dvfs(ClusterId(0))),
+    );
+    sim.record_trace(true);
+    let stats = sim.run(&dag).expect("sim run");
+    let trace = sim.take_trace();
+
+    println!(
+        "ran {} tasks in {:.3}s simulated ({:.0} tasks/s)\n",
+        stats.tasks,
+        stats.makespan,
+        stats.throughput()
+    );
+
+    println!("per-core utilisation:");
+    for (c, u) in trace.utilization().iter().enumerate() {
+        println!("  C{c}: {:>5.1}%", u * 100.0);
+    }
+
+    println!("\nwhere the time went, per task type:");
+    for (ty, n, total, mean) in trace.by_type() {
+        println!("  {ty}: {n} spans, {total:.3}s busy, mean {:.3}ms", mean * 1e3);
+    }
+
+    println!("\nASCII Gantt (digit = task type, '.' = idle):");
+    print!("{}", trace.gantt(96));
+
+    assert!(trace.find_overlap().is_none(), "trace must be physical");
+    std::fs::write(&out, trace.to_chrome_json()).expect("write trace file");
+    println!("\nChrome trace written to {out} — load it in chrome://tracing or Perfetto.");
+}

@@ -1,0 +1,92 @@
+//! Automatic criticality inference on an irregular DAG.
+//!
+//! The paper assumes task criticality is user-supplied ("our work does
+//! not address the problem of determining task criticality dynamically").
+//! This example exercises the CATS-style extension in `das_dag::analysis`:
+//! a tiled-Cholesky DAG is run (a) with all tasks low priority, (b) with
+//! hop-count critical-path marking, and (c) with work-weighted marking —
+//! under interference on the fast cluster, with the DAM-P scheduler.
+//!
+//! ```sh
+//! cargo run --release --example criticality_inference
+//! ```
+
+use das::core::Policy;
+use das::dag::{analysis, generators, Dag};
+use das::sim::{Environment, Modifier, SimConfig, Simulator};
+use das::sim::cost::TableCost;
+use das::topology::{CoreId, Topology};
+use std::sync::Arc;
+
+fn cholesky_cost() -> TableCost {
+    // One row, shared by all four tile-kernel types (ids past the table
+    // fall back to the last row): 1 ms nominal work at unit speed,
+    // sub-linear scaling, light memory sensitivity. GEMM tasks carry
+    // work_scale 2.0 from the generator on top.
+    TableCost::new().with(1.0e-3, 0.7, 0.1)
+}
+
+fn run(dag: &Dag, topo: &Arc<Topology>) -> f64 {
+    let mut sim = Simulator::new(
+        SimConfig::new(Arc::clone(topo), Policy::DamP).cost(Arc::new(cholesky_cost())),
+    );
+    sim.set_env(
+        Environment::interference_free(Arc::clone(topo))
+            .and(Modifier::compute_corunner(CoreId(0))),
+    );
+    sim.run(dag).expect("sim run").makespan
+}
+
+fn main() {
+    let topo = Arc::new(Topology::tx2());
+    let blocks = 14;
+
+    let mut none = generators::cholesky_like(blocks);
+    for i in 0..none.len() {
+        none.set_priority(das::dag::TaskId(i as u32), das::core::Priority::Low);
+    }
+    let mut hops = generators::cholesky_like(blocks);
+    let n_hops = analysis::mark_critical(&mut hops, false);
+    let mut weighted = generators::cholesky_like(blocks);
+    let n_weighted = analysis::mark_critical_weighted(&mut weighted, 0.05);
+
+    println!(
+        "tiled Cholesky, {blocks}x{blocks} blocks: {} tasks, weighted critical path {:.1} units, \
+         weighted parallelism {:.1}",
+        hops.len(),
+        analysis::weighted_critical_path_length(&hops),
+        analysis::weighted_parallelism(&hops),
+    );
+    println!("interference: compute co-runner on Denver core 0; scheduler DAM-P\n");
+
+    let t_none = run(&none, &topo);
+    let t_hops = run(&hops, &topo);
+    let t_weighted = run(&weighted, &topo);
+
+    println!("{:<28} {:>10} {:>12}", "criticality", "critical", "makespan");
+    println!("{:<28} {:>10} {:>11.3}s", "none (all low)", 0, t_none);
+    println!("{:<28} {:>10} {:>11.3}s", "hop-count critical path", n_hops, t_hops);
+    println!(
+        "{:<28} {:>10} {:>11.3}s",
+        "work-weighted, 5% slack", n_weighted, t_weighted
+    );
+    println!(
+        "\nspeedup from inferred criticality: {:.2}x (hops), {:.2}x (weighted)",
+        t_none / t_hops,
+        t_none / t_weighted
+    );
+    println!(
+        "\nReading: marking the POTRF chain critical lets DAM-P steer exactly the\n\
+         tasks that gate the trailing updates away from the perturbed core —\n\
+         recovering most of the benefit the paper gets from user annotations,\n\
+         with no user involvement. This DAG also trains four PTTs at once\n\
+         (one per kernel type), which the single-type synthetic DAGs never do."
+    );
+
+    // Render the small version for the curious (dot -Tsvg).
+    let small = generators::cholesky_like(4);
+    println!(
+        "\nGraphviz of the 4x4-block instance (pipe to `dot -Tsvg`):\n{}",
+        small.to_dot()
+    );
+}

@@ -1,0 +1,64 @@
+//! Interference adaptation demo (the Fig. 4/5 scenario in miniature):
+//! a co-running application occupies Denver core 0 of a simulated Jetson
+//! TX2; compare how the schedulers place critical tasks and what
+//! throughput they reach.
+//!
+//! ```sh
+//! cargo run --release --example interference_sim
+//! ```
+
+use das::core::{Policy, TaskTypeId};
+use das::dag::generators;
+use das::sim::{Environment, Modifier, SimConfig, Simulator};
+use das::topology::{CoreId, Topology};
+use das::workloads::cost::PaperCost;
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(Topology::tx2());
+    println!("simulated platform: NVIDIA Jetson TX2 (2x Denver @2.0, 4x A57 @1.0)");
+    println!("interference: compute co-runner pinned to Denver core 0\n");
+
+    let dag = generators::layered(TaskTypeId(0), 2, 2000);
+    println!(
+        "workload: layered MatMul DAG, parallelism {} ({} tasks, 50% critical)\n",
+        dag.dag_parallelism(),
+        dag.len()
+    );
+
+    println!(
+        "{:<8} {:>12} {:>10}   critical-task placement",
+        "policy", "tasks/s", "steals"
+    );
+    for policy in Policy::ALL {
+        let mut sim = Simulator::new(
+            SimConfig::new(Arc::clone(&topo), policy).cost(Arc::new(PaperCost::new())),
+        );
+        sim.set_env(
+            Environment::interference_free(Arc::clone(&topo))
+                .and(Modifier::compute_corunner(CoreId(0))),
+        );
+        let st = sim.run(&dag).expect("sim run");
+        let total: usize = st.high_priority_places.values().sum();
+        let mut places: Vec<_> = st.high_priority_places.iter().collect();
+        places.sort_by(|a, b| b.1.cmp(a.1));
+        let summary: Vec<String> = places
+            .into_iter()
+            .take(3)
+            .map(|(&(c, w), &n)| format!("(C{c},{w}) {:.0}%", 100.0 * n as f64 / total as f64))
+            .collect();
+        println!(
+            "{:<8} {:>12.0} {:>10}   {}",
+            policy.name(),
+            st.throughput(),
+            st.steals,
+            summary.join(", ")
+        );
+    }
+
+    println!(
+        "\nReading: the dynamic schedulers (DA/DAM-*) learn through the PTT \
+         that core 0 is perturbed\nand steer critical tasks to the remaining \
+         fast core — the paper's Fig. 5(e-g) pattern."
+    );
+}

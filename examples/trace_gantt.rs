@@ -1,0 +1,63 @@
+//! Trace visualisation: record per-core execution spans of a simulated
+//! run and render an ASCII Gantt chart — watch the DAM-C scheduler route
+//! work around an interference window.
+//!
+//! ```sh
+//! cargo run --release --example trace_gantt
+//! ```
+
+use das::core::{Policy, TaskTypeId};
+use das::dag::generators;
+use das::sim::{Environment, Modifier, SimConfig, Simulator};
+use das::topology::{CoreId, Topology};
+use das::workloads::cost::PaperCost;
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(Topology::tx2());
+    for policy in [Policy::Rws, Policy::DamC] {
+        let mut sim = Simulator::new(
+            SimConfig::new(Arc::clone(&topo), policy).cost(Arc::new(PaperCost::new())),
+        );
+        sim.record_trace(true);
+        // Interference on Denver core 0 only in the middle third.
+        sim.set_env(
+            Environment::interference_free(Arc::clone(&topo)).and(Modifier::CoRunner {
+                core: CoreId(0),
+                cpu_share: 0.7,
+                mem_pressure: 0.0,
+                from: 0.25,
+                until: 0.6,
+            }),
+        );
+        let dag = generators::layered(TaskTypeId(0), 4, 400);
+        let stats = sim.run(&dag).expect("run");
+        let trace = sim.take_trace();
+        assert!(trace.find_overlap().is_none(), "physical consistency");
+
+        println!(
+            "\n=== {policy} — {:.0} tasks/s, makespan {:.2}s ===",
+            stats.throughput(),
+            stats.makespan
+        );
+        println!("(rows = cores; '0' = MatMul task; '.' = idle; interference window marked)");
+        print!("{}", trace.gantt(100));
+        // Mark the interference window on a ruler line.
+        let mut ruler = vec![b' '; 105];
+        let lo = (0.25 / stats.makespan * 100.0).min(100.0) as usize;
+        let hi = (0.60 / stats.makespan * 100.0).min(100.0) as usize;
+        for c in lo..hi.min(100) {
+            ruler[c + 5] = b'^';
+        }
+        println!("{}", String::from_utf8(ruler).unwrap());
+        let util = trace.utilization();
+        println!(
+            "core utilisation: {}",
+            util.iter()
+                .enumerate()
+                .map(|(c, u)| format!("C{c}={:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # das — Dynamic Asymmetry Scheduler (umbrella crate)
+//!
+//! Re-exports the whole workspace under one roof. See the individual
+//! crates for detail:
+//!
+//! * [`core`] — PTT + scheduling policies (the paper's contribution);
+//! * [`topology`] — platform model;
+//! * [`dag`] — task DAGs and generators;
+//! * [`sim`] — discrete-event simulator (figure reproduction);
+//! * [`runtime`] — real threaded XiTAO-like runtime;
+//! * [`workloads`] — kernels, K-means, 2-D heat;
+//! * [`msg`] — in-process message passing.
+
+pub use das_core as core;
+pub use das_dag as dag;
+pub use das_msg as msg;
+pub use das_runtime as runtime;
+pub use das_sim as sim;
+pub use das_topology as topology;
+pub use das_workloads as workloads;

@@ -1,0 +1,172 @@
+//! Cross-crate integration: the distributed applications (2-D Heat,
+//! K-means) over the `das-msg` substrate and the threaded runtime,
+//! checked against their sequential reference implementations.
+
+use das::core::Policy;
+use das::msg::{Communicator, ReduceOp};
+use das::runtime::Runtime;
+use das::topology::Topology;
+use das::workloads::{heat, kmeans};
+use std::sync::Arc;
+use std::thread;
+
+fn mk_rt(policy: Policy) -> impl Fn(usize) -> Runtime + Sync {
+    move |_rank| Runtime::new(Arc::new(Topology::symmetric(2)), policy)
+}
+
+#[test]
+fn distributed_heat_matches_sequential_solver() {
+    let (rows, cols, iters, ranks) = (64, 48, 20, 4);
+    let reference = heat::sequential(rows, cols, iters);
+    let result = heat::run_distributed(mk_rt(Policy::DamC), ranks, rows, cols, iters, 3);
+    assert_eq!(result.len(), reference.len());
+    for (i, (a, b)) in result.iter().zip(&reference).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "cell {i}: distributed {a} vs sequential {b}"
+        );
+    }
+}
+
+#[test]
+fn distributed_heat_rank_count_does_not_change_answer() {
+    let (rows, cols, iters) = (40, 40, 12);
+    let two = heat::run_distributed(mk_rt(Policy::DamP), 2, rows, cols, iters, 4);
+    let five = heat::run_distributed(mk_rt(Policy::Rws), 5, rows, cols, iters, 2);
+    for (a, b) in two.iter().zip(&five) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn shared_memory_heat_agrees_with_sequential() {
+    let (rows, cols, iters) = (50, 30, 15);
+    let rt = Runtime::new(Arc::new(Topology::symmetric(4)), Policy::DamC);
+    let shared = heat::run_shared(&rt, rows, cols, iters, 6);
+    let reference = heat::sequential(rows, cols, iters);
+    for (a, b) in shared.iter().zip(&reference) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn kmeans_runtime_matches_sequential_iterations() {
+    let km = kmeans::KMeans::generate(600, 3, 4, 42);
+    let reference = km.run_sequential(8);
+    let rt = Runtime::new(Arc::new(Topology::symmetric(4)), Policy::DamP);
+    let (parallel, times) = km.run_on_runtime(&rt, 8, 8);
+    assert_eq!(parallel.len(), reference.len());
+    assert_eq!(times.len(), 8);
+    for (a, b) in parallel.iter().zip(&reference) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn distributed_kmeans_matches_sequential() {
+    let km = kmeans::KMeans::generate(400, 2, 3, 7);
+    let reference = km.run_sequential(6);
+    let distributed = kmeans::run_distributed(mk_rt(Policy::DamC), 4, &km, 6, 3);
+    for (a, b) in distributed.iter().zip(&reference) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn collectives_compose_with_runtime_tasks() {
+    // Each rank runs a tiny runtime whose tasks produce partial sums,
+    // then the ranks allreduce them — the Heat/K-means communication
+    // shape distilled.
+    let ranks = 3;
+    let comm = Communicator::new(ranks);
+    let handles: Vec<_> = comm
+        .endpoints()
+        .into_iter()
+        .map(|ep| {
+            thread::spawn(move || {
+                let topo = Arc::new(Topology::symmetric(2));
+                let rt = Runtime::new(topo, Policy::DamC);
+                let sum = Arc::new(AtomicF64::new());
+                let mut g = das::runtime::TaskGraph::new(format!("rank{}", ep.rank()));
+                for i in 0..10 {
+                    let sum = Arc::clone(&sum);
+                    let v = (ep.rank() * 10 + i) as f64;
+                    g.add(
+                        das::core::TaskTypeId(0),
+                        das::core::Priority::Low,
+                        move |ctx| {
+                            if ctx.rank == 0 {
+                                sum.fetch_add(v);
+                            }
+                        },
+                    );
+                }
+                rt.run(&g).unwrap();
+                ep.allreduce(ReduceOp::Sum, vec![sum.load()])
+            })
+        })
+        .collect();
+    let expect: f64 = (0..ranks)
+        .map(|r| (0..10).map(|i| (r * 10 + i) as f64).sum::<f64>())
+        .sum();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), vec![expect]);
+    }
+}
+
+#[test]
+fn reduce_min_max_agree_with_gather() {
+    // Collective consistency: min/max allreduce must equal a gather-side
+    // fold of the same inputs.
+    let ranks = 4;
+    let comm = Communicator::new(ranks);
+    let handles: Vec<_> = comm
+        .endpoints()
+        .into_iter()
+        .map(|ep| {
+            thread::spawn(move || {
+                let local = vec![ep.rank() as f64, -(ep.rank() as f64)];
+                let mn = ep.allreduce(ReduceOp::Min, local.clone());
+                let mx = ep.allreduce(ReduceOp::Max, local.clone());
+                let gathered = ep.allgather(local);
+                (mn, mx, gathered)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (mn, mx, gathered) = h.join().unwrap();
+        let fold = |f: fn(f64, f64) -> f64, init: f64, i: usize| {
+            gathered.iter().map(|p| p[i]).fold(init, f)
+        };
+        assert_eq!(mn, vec![fold(f64::min, f64::INFINITY, 0), fold(f64::min, f64::INFINITY, 1)]);
+        assert_eq!(mx, vec![fold(f64::max, f64::NEG_INFINITY, 0), fold(f64::max, f64::NEG_INFINITY, 1)]);
+    }
+}
+
+/// A tiny atomic f64 accumulator (CAS loop) so the test avoids a mutex.
+struct AtomicF64(std::sync::atomic::AtomicU64);
+
+impl AtomicF64 {
+    fn new() -> Self {
+        AtomicF64(std::sync::atomic::AtomicU64::new(0f64.to_bits()))
+    }
+
+    fn fetch_add(&self, v: f64) {
+        use std::sync::atomic::Ordering;
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed))
+    }
+}

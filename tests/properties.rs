@@ -1,0 +1,196 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! simulator's liveness/determinism invariants.
+
+use das::core::{Policy, Priority, Ptt, TaskMeta, TaskTypeId, WeightRatio};
+use das::dag::{generators, Dag};
+use das::sim::{cost::UniformCost, Environment, Modifier, SimConfig, Simulator};
+use das::topology::{CoreId, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop::sample::select(Policy::ALL.to_vec())
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::tx2()),
+        Just(Topology::haswell_2x8()),
+        Just(Topology::symmetric(3)),
+        Just(Topology::big_little(1, 3, 2.5)),
+        (1usize..4, 1usize..5).prop_map(|(b, l)| Topology::big_little(b, l, 2.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The weighted update always lands between old and new values (for
+    /// positive inputs), so the PTT can never diverge.
+    #[test]
+    fn ptt_update_stays_in_hull(
+        old in 1e-9f64..1e3,
+        new in 1e-9f64..1e3,
+        num in 1u32..5,
+    ) {
+        let ratio = WeightRatio::new(num, 5);
+        let mixed = ratio.mix(old, new);
+        let (lo, hi) = if old < new { (old, new) } else { (new, old) };
+        prop_assert!(mixed >= lo - 1e-12 && mixed <= hi + 1e-12);
+    }
+
+    /// Repeated observations of a constant value converge to it,
+    /// regardless of starting point and ratio.
+    #[test]
+    fn ptt_converges_to_constant_signal(
+        start in 1e-6f64..1e2,
+        target in 1e-6f64..1e2,
+        num in 1u32..=5,
+    ) {
+        let ratio = WeightRatio::new(num, 5);
+        let mut v = start;
+        for _ in 0..200 {
+            v = ratio.mix(v, target);
+        }
+        prop_assert!((v - target).abs() < 1e-6 * target.max(1.0));
+    }
+
+    /// `local_search` returns the width-1-or-better minimum of the
+    /// parallel cost among the core's valid places (brute-force check).
+    #[test]
+    fn local_search_is_optimal(
+        seed_vals in prop::collection::vec(1e-6f64..10.0, 32),
+        core in 0usize..6,
+    ) {
+        let topo = Arc::new(Topology::tx2());
+        let ptt = Ptt::new(Arc::clone(&topo), WeightRatio::PAPER);
+        for (i, p) in topo.places().enumerate() {
+            ptt.seed(p.leader, p.width, seed_vals[i % seed_vals.len()]);
+        }
+        let core = CoreId(core);
+        let got = ptt.local_search(core);
+        let best = topo
+            .cluster_of(core)
+            .valid_widths()
+            .iter()
+            .filter_map(|&w| topo.place(core, w))
+            .map(|p| (ptt.predict(p.leader, p.width).unwrap() * p.width as f64, p))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .unwrap();
+        let got_cost = ptt.predict(got.leader, got.width).unwrap() * got.width as f64;
+        prop_assert!((got_cost - best.0).abs() < 1e-12);
+    }
+
+    /// `global_search` minimises the requested objective over all places.
+    #[test]
+    fn global_search_is_optimal(
+        seed_vals in prop::collection::vec(1e-6f64..10.0, 40),
+        minimize_cost in any::<bool>(),
+    ) {
+        let topo = Arc::new(Topology::tx2());
+        let ptt = Ptt::new(Arc::clone(&topo), WeightRatio::PAPER);
+        for (i, p) in topo.places().enumerate() {
+            ptt.seed(p.leader, p.width, seed_vals[i % seed_vals.len()]);
+        }
+        let got = ptt.global_search(minimize_cost, false, None);
+        let objective = |leader: CoreId, width: usize| {
+            let t = ptt.predict(leader, width).unwrap();
+            if minimize_cost { t * width as f64 } else { t }
+        };
+        let best = topo
+            .places()
+            .map(|p| objective(p.leader, p.width))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((objective(got.leader, got.width) - best).abs() < 1e-12);
+    }
+
+    /// Random layered DAGs are valid, and their parallelism never
+    /// exceeds the widest layer.
+    #[test]
+    fn random_dags_valid(seed in any::<u64>(), layers in 1usize..15, width in 1usize..6) {
+        let d = generators::random_layered(seed, layers, width, 0.25, 3);
+        prop_assert!(d.validate().is_ok());
+        prop_assert!(d.dag_parallelism() <= width as f64 + 1e-9);
+        prop_assert!(d.longest_path_len() >= layers);
+    }
+
+    /// Liveness: every policy completes every random DAG on every
+    /// topology — no lost wake-ups, no deadlocks — and executes each
+    /// task exactly once.
+    #[test]
+    fn sim_always_completes(
+        policy in arb_policy(),
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        layers in 1usize..12,
+        width in 1usize..5,
+    ) {
+        let dag = generators::random_layered(seed, layers, width, 0.3, 3);
+        let n = dag.len();
+        let mut sim = Simulator::new(
+            SimConfig::new(Arc::new(topo), policy)
+                .cost(Arc::new(UniformCost::new(1e-4)))
+                .seed(seed),
+        );
+        let st = sim.run(&dag).expect("must complete");
+        prop_assert_eq!(st.tasks, n);
+        let committed: usize = st.all_places.values().sum();
+        prop_assert_eq!(committed, n);
+    }
+
+    /// Determinism: identical seeds and configs give identical stats,
+    /// even under a time-varying environment.
+    #[test]
+    fn sim_is_deterministic(policy in arb_policy(), seed in any::<u64>()) {
+        let mk = || {
+            let topo = Arc::new(Topology::tx2());
+            let mut sim = Simulator::new(
+                SimConfig::new(Arc::clone(&topo), policy)
+                    .cost(Arc::new(UniformCost::new(1e-3)))
+                    .seed(seed),
+            );
+            sim.set_env(
+                Environment::interference_free(topo)
+                    .and(Modifier::compute_corunner(CoreId(0))),
+            );
+            let dag = generators::layered(TaskTypeId(0), 3, 60);
+            sim.run(&dag).unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.all_places, b.all_places);
+        prop_assert_eq!(a.steals, b.steals);
+    }
+
+    /// Affinity safety: tasks restricted to a node only ever commit on
+    /// that node's cores, under any policy.
+    #[test]
+    fn sim_respects_affinity(policy in arb_policy(), seed in any::<u64>()) {
+        let topo = Arc::new(Topology::haswell_cluster(2));
+        let mut dag = Dag::new("affine");
+        let mut prev: Option<das::dag::TaskId> = None;
+        for i in 0..30u64 {
+            let node = (i % 2) as usize;
+            let prio = if i % 3 == 0 { Priority::High } else { Priority::Low };
+            let id = dag.add_task_meta(TaskMeta::new(TaskTypeId(0), prio).with_affinity(node));
+            dag.set_tag(id, node as u64);
+            if let Some(p) = prev {
+                dag.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        let mut sim = Simulator::new(
+            SimConfig::new(Arc::clone(&topo), policy)
+                .cost(Arc::new(UniformCost::new(1e-4)))
+                .seed(seed),
+        );
+        let st = sim.run(&dag).unwrap();
+        for (&(tag, (core, _w)), &n) in &st.tag_places {
+            if n > 0 {
+                let cluster_node = topo.cluster_of(CoreId(core)).node;
+                prop_assert_eq!(cluster_node, tag as usize, "core {} ran node-{} task", core, tag);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the extension features: sampled search,
+//! visit counters, snapshot algebra, weighted criticality, anomaly
+//! scenarios and the new DAG generators.
+
+use das::core::{Ptt, TaskTypeId, WeightRatio};
+use das::dag::{analysis, generators};
+use das::sim::Scenario;
+use das::topology::{CoreId, Distance, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::tx2()),
+        Just(Topology::agx_xavier()),
+        Just(Topology::m1_like()),
+        Just(Topology::haswell_2x8()),
+        (1usize..4, 1usize..5).prop_map(|(b, l)| Topology::big_little(b, l, 2.0)),
+        (1usize..3, 1usize..3, 1usize..6).prop_map(|(n, s, c)| Topology::grid(n, s, c)),
+    ]
+}
+
+/// A PTT with every valid place seeded to a value derived from `seed`.
+fn seeded_ptt(topo: &Arc<Topology>, seed: u64) -> Ptt {
+    let ptt = Ptt::new(Arc::clone(topo), WeightRatio::PAPER);
+    for (i, p) in topo.places().enumerate() {
+        // Deterministic pseudo-random positive values.
+        let h = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(i as u64)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let v = 0.1 + (h % 1000) as f64 / 100.0;
+        ptt.seed(p.leader, p.width, v);
+    }
+    ptt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The sampled search always returns a valid place, and its cost is
+    /// never worse than the best *candidate* it is allowed to see (its
+    /// own cluster + representative rows).
+    #[test]
+    fn sampled_search_returns_valid_optimal_candidate(
+        topo in arb_topology(),
+        seed in 0u64..1000,
+        probe_idx in 0usize..32,
+        minimize_cost in any::<bool>(),
+    ) {
+        let topo = Arc::new(topo);
+        let probe = CoreId(probe_idx % topo.num_cores());
+        let ptt = seeded_ptt(&topo, seed);
+        let got = ptt.global_search_sampled(minimize_cost, None, probe);
+        // Valid.
+        prop_assert!(topo.place(got.leader, got.width).is_some());
+        let cost = |c: CoreId, w: usize| {
+            let t = ptt.predict(c, w).unwrap();
+            if minimize_cost { t * w as f64 } else { t }
+        };
+        let got_cost = cost(got.leader, got.width);
+        // No candidate beats it.
+        let home = topo.cluster_of(probe).id;
+        for cl in topo.clusters() {
+            if cl.id == home {
+                for p in topo.places_in_cluster(cl.id) {
+                    prop_assert!(got_cost <= cost(p.leader, p.width) + 1e-12);
+                }
+            } else {
+                for &w in cl.valid_widths() {
+                    if let Some(p) = topo.place(cl.first_core, w) {
+                        prop_assert!(got_cost <= cost(p.leader, p.width) + 1e-12);
+                    }
+                }
+            }
+        }
+        // And it never beats the full sweep (the full sweep sees more).
+        let full = ptt.global_search(minimize_cost, false, None);
+        prop_assert!(cost(full.leader, full.width) <= got_cost + 1e-12);
+    }
+
+    /// Visit counters: total equals the number of accepted updates, and
+    /// coverage is monotone in updates.
+    #[test]
+    fn visits_and_coverage_account_updates(
+        topo in arb_topology(),
+        updates in prop::collection::vec((0usize..64, 0.001f64..10.0), 0..100),
+    ) {
+        let topo = Arc::new(topo);
+        let places: Vec<_> = topo.places().collect();
+        let ptt = Ptt::new(Arc::clone(&topo), WeightRatio::PAPER);
+        let mut accepted = 0u64;
+        let mut prev_explored = 0usize;
+        for (pi, v) in updates {
+            ptt.update(places[pi % places.len()], v);
+            accepted += 1;
+            let (explored, total) = ptt.coverage();
+            prop_assert!(explored >= prev_explored);
+            prop_assert!(explored <= total);
+            prev_explored = explored;
+        }
+        prop_assert_eq!(ptt.total_visits(), accepted);
+    }
+
+    /// Snapshot delta is a pseudometric: non-negative, symmetric, zero on
+    /// identical snapshots, and bounded by the triangle inequality.
+    #[test]
+    fn snapshot_delta_is_a_pseudometric(
+        topo in arb_topology(),
+        s1 in 0u64..100, s2 in 0u64..100, s3 in 0u64..100,
+    ) {
+        let topo = Arc::new(topo);
+        let a = seeded_ptt(&topo, s1).snapshot();
+        let b = seeded_ptt(&topo, s2).snapshot();
+        let c = seeded_ptt(&topo, s3).snapshot();
+        prop_assert_eq!(a.delta(&a), 0.0);
+        prop_assert!((a.delta(&b) - b.delta(&a)).abs() < 1e-15);
+        prop_assert!(a.delta(&c) <= a.delta(&b) + b.delta(&c) + 1e-12);
+    }
+
+    /// Weighted critical-path length dominates both the heaviest single
+    /// task and (total work / task count); weighted parallelism is
+    /// between 1 and the task count.
+    #[test]
+    fn weighted_analysis_bounds(seed in 0u64..500, layers in 1usize..10, width in 1usize..6) {
+        let mut dag = generators::random_layered(seed, layers, width, 0.3, 3);
+        // Give tasks varied weights.
+        for i in 0..dag.len() {
+            let w = 0.5 + ((seed as usize + i * 7) % 10) as f64 / 4.0;
+            dag.set_work_scale(das::dag::TaskId(i as u32), w);
+        }
+        let cp = analysis::weighted_critical_path_length(&dag);
+        let max_w = dag.nodes().iter().map(|n| n.work_scale).fold(0.0, f64::max);
+        let total: f64 = dag.nodes().iter().map(|n| n.work_scale).sum();
+        prop_assert!(cp >= max_w - 1e-12);
+        prop_assert!(cp <= total + 1e-12);
+        let par = analysis::weighted_parallelism(&dag);
+        prop_assert!(par >= 1.0 - 1e-12);
+        prop_assert!(par <= dag.len() as f64 + 1e-12);
+    }
+
+    /// `mark_critical_weighted` marks a superset as slack grows, and at
+    /// slack 0 the marked set contains a full root-to-sink chain.
+    #[test]
+    fn weighted_marking_monotone_in_slack(seed in 0u64..200, layers in 2usize..8) {
+        let mut a = generators::random_layered(seed, layers, 4, 0.25, 2);
+        let mut b = a.clone();
+        let n0 = analysis::mark_critical_weighted(&mut a, 0.0);
+        let n1 = analysis::mark_critical_weighted(&mut b, 0.3);
+        prop_assert!(n1 >= n0, "slack 0.3 marked {n1} < slack 0 marked {n0}");
+        prop_assert!(n0 >= 1);
+    }
+
+    /// Every generator yields validating DAGs whose stated invariants
+    /// hold.
+    #[test]
+    fn new_generators_always_valid(n in 1usize..12) {
+        for dag in [
+            generators::wavefront(TaskTypeId(0), n),
+            generators::cholesky_like(n),
+            generators::reduction_tree(TaskTypeId(1), n),
+            generators::diamond(TaskTypeId(2), n),
+        ] {
+            prop_assert!(dag.validate().is_ok(), "{}", dag.name());
+            prop_assert!(dag.len() >= 1);
+            prop_assert!(dag.topo_order().is_some());
+        }
+    }
+
+    /// Scenario environments are deterministic functions of their inputs
+    /// and never produce non-positive speeds.
+    #[test]
+    fn scenarios_yield_positive_speeds(scenario_idx in 0usize..7, t in 0.0f64..120.0) {
+        let topo = Arc::new(Topology::tx2());
+        let suite = Scenario::suite(&topo);
+        let s = &suite[scenario_idx % suite.len()];
+        let env = s.environment(Arc::clone(&topo));
+        for c in topo.cores() {
+            let v = env.speed(c, t);
+            prop_assert!(v > 0.0 && v.is_finite(), "{} speed {v} at {t}", s.name);
+        }
+    }
+
+    /// Distance classes are consistent with cluster/node structure on
+    /// every topology.
+    #[test]
+    fn distance_classes_consistent(topo in arb_topology(), a in 0usize..64, b in 0usize..64) {
+        let a = CoreId(a % topo.num_cores());
+        let b = CoreId(b % topo.num_cores());
+        let d = topo.distance(a, b);
+        match d {
+            Distance::SameCore => prop_assert_eq!(a, b),
+            Distance::SameCluster => {
+                prop_assert_ne!(a, b);
+                prop_assert_eq!(topo.cluster_of(a).id, topo.cluster_of(b).id);
+            }
+            Distance::SameNode => {
+                prop_assert_ne!(topo.cluster_of(a).id, topo.cluster_of(b).id);
+                prop_assert_eq!(topo.node_of(a), topo.node_of(b));
+            }
+            Distance::CrossNode => prop_assert_ne!(topo.node_of(a), topo.node_of(b)),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Reproducibility guarantees: every figure of `EXPERIMENTS.md` is
+//! regenerated bit-for-bit from a seed, so determinism is a contract,
+//! not a convenience.
+
+use das::core::{Policy, TaskTypeId};
+use das::dag::generators;
+use das::sim::{Scenario, SimConfig, Simulator};
+use das::topology::Topology;
+use das::workloads::cost::PaperCost;
+use std::sync::Arc;
+
+fn run_stats(policy: Policy, seed: u64, scenario: Option<usize>) -> das::sim::RunStats {
+    let topo = Arc::new(Topology::tx2());
+    let mut sim = Simulator::new(
+        SimConfig::new(Arc::clone(&topo), policy)
+            .seed(seed)
+            .cost(Arc::new(PaperCost::new())),
+    );
+    if let Some(i) = scenario {
+        let suite = Scenario::suite(&topo);
+        sim.set_env(suite[i].environment(Arc::clone(&topo)));
+    }
+    let dag = generators::layered(TaskTypeId(0), 4, 250);
+    sim.run(&dag).expect("run completes")
+}
+
+#[test]
+fn identical_seeds_identical_everything() {
+    for policy in [Policy::Rws, Policy::DamC, Policy::DHeft] {
+        let a = run_stats(policy, 99, Some(0));
+        let b = run_stats(policy, 99, Some(0));
+        assert_eq!(a.makespan, b.makespan, "{policy}");
+        assert_eq!(a.steals, b.steals, "{policy}");
+        assert_eq!(a.all_places, b.all_places, "{policy}");
+        assert_eq!(a.high_priority_places, b.high_priority_places, "{policy}");
+        assert_eq!(a.core_work, b.core_work, "{policy}");
+    }
+}
+
+#[test]
+fn seed_only_affects_stealing_policies() {
+    // RWS outcomes depend on the steal RNG — but only when the RNG has
+    // a real choice. On the layered DAG every layer is released by one
+    // core, so exactly one victim queue is ever non-empty and victim
+    // selection is forced. A wavefront commits tasks on many cores at
+    // once, giving concurrent victims and letting the seed matter.
+    let run = |seed: u64| {
+        let topo = Arc::new(Topology::tx2());
+        let mut sim = Simulator::new(
+            SimConfig::new(Arc::clone(&topo), Policy::Rws)
+                .seed(seed)
+                .cost(Arc::new(PaperCost::new())),
+        );
+        let dag = generators::wavefront(TaskTypeId(0), 24);
+        sim.run(&dag).expect("run completes")
+    };
+    let a = run(1);
+    let diverges = (2u64..8).any(|seed| {
+        let b = run(seed);
+        a.makespan != b.makespan || a.all_places != b.all_places || a.steals != b.steals
+    });
+    assert!(diverges, "no seed in 2..8 perturbed RWS at all");
+}
+
+#[test]
+fn every_scenario_is_reproducible() {
+    let topo = Arc::new(Topology::tx2());
+    let n = Scenario::suite(&topo).len();
+    for i in 0..n {
+        let a = run_stats(Policy::DamP, 7, Some(i));
+        let b = run_stats(Policy::DamP, 7, Some(i));
+        assert_eq!(a.makespan, b.makespan, "scenario {i}");
+    }
+}
+
+#[test]
+fn traces_are_deterministic_and_physical() {
+    let mk = || {
+        let topo = Arc::new(Topology::tx2());
+        let mut sim = Simulator::new(
+            SimConfig::new(Arc::clone(&topo), Policy::DamC)
+                .seed(5)
+                .cost(Arc::new(PaperCost::new())),
+        );
+        sim.record_trace(true);
+        let dag = generators::layered(TaskTypeId(0), 4, 100);
+        sim.run(&dag).unwrap();
+        sim.take_trace()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.spans.len(), b.spans.len());
+    assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+    assert!(a.find_overlap().is_none());
+    // Utilisation bounded and some core meaningfully busy.
+    let u = a.utilization();
+    assert!(u.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+    assert!(u.iter().cloned().fold(0.0f64, f64::max) > 0.3);
+}
+
+#[test]
+fn ptt_state_carryover_is_the_only_cross_run_state() {
+    // Two fresh simulators agree; one simulator run twice differs only
+    // through its trained PTT (second run at least as fast on a stable
+    // environment).
+    let topo = Arc::new(Topology::tx2());
+    let dag = generators::layered(TaskTypeId(0), 4, 250);
+    let mut sim = Simulator::new(
+        SimConfig::new(Arc::clone(&topo), Policy::DamC)
+            .seed(11)
+            .cost(Arc::new(PaperCost::new())),
+    );
+    let first = sim.run(&dag).unwrap();
+    let second = sim.run(&dag).unwrap();
+    assert!(second.makespan <= first.makespan * 1.05);
+    sim.reset_model();
+    let fresh = sim.run(&dag).unwrap();
+    // A reset model re-explores; it cannot beat the trained run by much.
+    assert!(fresh.makespan >= second.makespan * 0.95);
+}
