@@ -18,20 +18,15 @@ fn engine_task_rate(c: &mut Criterion) {
         for tasks in [1_000usize, 10_000] {
             let dag = generators::layered(TaskTypeId(0), 4, tasks / 4);
             g.throughput(Throughput::Elements(tasks as u64));
-            g.bench_with_input(
-                BenchmarkId::new(name, tasks),
-                &dag,
-                |b, dag| {
-                    b.iter(|| {
-                        let topo = Arc::new(Topology::tx2());
-                        let mut sim = Simulator::new(
-                            SimConfig::new(Arc::clone(&topo), policy)
-                                .cost(Arc::new(PaperCost::new())),
-                        );
-                        sim.run(dag).unwrap()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, tasks), &dag, |b, dag| {
+                b.iter(|| {
+                    let topo = Arc::new(Topology::tx2());
+                    let mut sim = Simulator::new(
+                        SimConfig::new(Arc::clone(&topo), policy).cost(Arc::new(PaperCost::new())),
+                    );
+                    sim.run(dag).unwrap()
+                })
+            });
         }
     }
     g.finish();

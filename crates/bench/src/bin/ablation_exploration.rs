@@ -63,7 +63,11 @@ fn main() {
     );
     for n in [0u64, 64, 16, 4] {
         let (thru, belief) = run(n, episode_end, scale);
-        let label = if n == 0 { "never (paper)".to_string() } else { format!("1/{n}") };
+        let label = if n == 0 {
+            "never (paper)".to_string()
+        } else {
+            format!("1/{n}")
+        };
         println!("{label:>14} {thru:>12.0} {belief:>19.2e}s");
     }
     println!(

@@ -46,8 +46,7 @@ fn quality(topo: &Arc<Topology>, sampled: bool, scale: usize) -> f64 {
     );
     sim.replace_scheduler(sched);
     sim.set_env(
-        Environment::interference_free(Arc::clone(topo))
-            .and(Modifier::compute_corunner(CoreId(0))),
+        Environment::interference_free(Arc::clone(topo)).and(Modifier::compute_corunner(CoreId(0))),
     );
     let dag = synthetic::dag(Kernel::MatMul, 4, scale);
     sim.run(&dag).expect("ablation run").throughput()
@@ -58,7 +57,14 @@ fn main() {
     println!("Ablation — sampled vs exhaustive global PTT search\n");
     println!(
         "{:<22} {:>7} {:>11} {:>11} {:>9} {:>11} {:>11} {:>8}",
-        "platform", "places", "full [ns]", "sampl [ns]", "speedup", "full [t/s]", "sampl [t/s]", "quality"
+        "platform",
+        "places",
+        "full [ns]",
+        "sampl [ns]",
+        "speedup",
+        "full [t/s]",
+        "sampl [t/s]",
+        "quality"
     );
     for (name, topo) in [
         ("TX2", Topology::tx2()),

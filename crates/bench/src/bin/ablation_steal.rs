@@ -36,8 +36,7 @@ fn main() {
                     ));
                 }
                 sim.set_env(
-                    Environment::interference_free(topo)
-                        .and(Modifier::compute_corunner(CoreId(0))),
+                    Environment::interference_free(topo).and(Modifier::compute_corunner(CoreId(0))),
                 );
                 let dag = synthetic::dag(Kernel::MatMul, p, scale);
                 sim.run(&dag).expect("ablation run").throughput()

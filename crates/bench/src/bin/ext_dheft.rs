@@ -20,7 +20,13 @@ fn main() {
     let scale = scale_from_args();
     println!("Extension — dHEFT vs the paper's schedulers (MatMul, co-runner on core 0)");
     print!("{:>12}", "parallelism");
-    let policies = [Policy::Rws, Policy::Fa, Policy::DHeft, Policy::DamC, Policy::DamP];
+    let policies = [
+        Policy::Rws,
+        Policy::Fa,
+        Policy::DHeft,
+        Policy::DamC,
+        Policy::DamP,
+    ];
     for p in policies {
         print!("{:>10}", p.name());
     }

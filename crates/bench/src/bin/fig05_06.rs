@@ -15,9 +15,7 @@ use std::sync::Arc;
 
 fn main() {
     let scale = scale_from_args();
-    println!(
-        "Fig. 5/6 — MatMul, parallelism 2, co-runner on Denver core 0 (scale 1/{scale})"
-    );
+    println!("Fig. 5/6 — MatMul, parallelism 2, co-runner on Denver core 0 (scale 1/{scale})");
 
     let mut fig6: Vec<(Policy, Vec<f64>, f64)> = Vec::new();
     for policy in Policy::ALL {
@@ -29,8 +27,10 @@ fn main() {
         let st = run_synthetic(&mut sim, Kernel::MatMul, 2, scale);
 
         let total: usize = st.high_priority_places.values().sum();
-        println!("\n== Fig. 5({}) {policy}: distribution of priority tasks ==",
-            (b'a' + Policy::ALL.iter().position(|&p| p == policy).unwrap() as u8) as char);
+        println!(
+            "\n== Fig. 5({}) {policy}: distribution of priority tasks ==",
+            (b'a' + Policy::ALL.iter().position(|&p| p == policy).unwrap() as u8) as char
+        );
         let mut entries: Vec<_> = st.high_priority_places.iter().collect();
         entries.sort_by(|a, b| b.1.cmp(a.1));
         for (&(core, width), &n) in entries {

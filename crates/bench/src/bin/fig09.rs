@@ -66,6 +66,9 @@ fn main() {
         print!("{:>10}", p.name());
     }
     println!();
+    // Row-major print across the per-policy columns; indexing is the
+    // natural shape here.
+    #[allow(clippy::needless_range_loop)]
     for it in 0..ITERS {
         print!("{it:>5}");
         for p in policies {
@@ -102,7 +105,7 @@ fn main() {
                 }
             }
             let mut v: Vec<_> = agg.into_iter().collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1));
+            v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
             print!("   {name:<16}");
             for ((c, w), n) in v.into_iter().take(8) {
                 print!(" ({c},{w})x{n}");

@@ -73,7 +73,13 @@ pub fn run_synthetic(
 }
 
 /// Render a throughput table: one row per x-value, one column per policy.
-pub fn print_table(title: &str, x_name: &str, xs: &[String], policies: &[Policy], cells: &[Vec<f64>]) {
+pub fn print_table(
+    title: &str,
+    x_name: &str,
+    xs: &[String],
+    policies: &[Policy],
+    cells: &[Vec<f64>],
+) {
     println!("\n== {title} ==");
     print!("{x_name:>12}");
     for p in policies {

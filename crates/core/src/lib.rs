@@ -18,8 +18,11 @@
 //!
 //! The crate is *pure decision logic*: it contains no threads and no
 //! clocks. Both the discrete-event simulator (`das-sim`) and the real
-//! threaded runtime (`das-runtime`) drive the same [`Scheduler`] type, so
-//! a policy behaves identically in simulation and on hardware.
+//! threaded runtime (`das-runtime`) drive the same [`Scheduler`] type —
+//! and queue ready tasks through the same [`ReadyQueue`] discipline
+//! (pinned-first FIFO for owners, LIFO stealable backlog, FIFO steals
+//! with affinity filtering; see [`queue`](ReadyQueue)) — so a policy
+//! behaves identically in simulation and on hardware.
 //!
 //! ## Decision points
 //!
@@ -57,10 +60,12 @@
 
 mod policy;
 mod ptt;
+mod queue;
 mod scheduler;
 
 pub use policy::Policy;
 pub use ptt::{Ptt, PttRegistry, PttSnapshot, WeightRatio};
+pub use queue::{QueueDiscipline, ReadyEntry, ReadyQueue};
 pub use scheduler::{Scheduler, WakeupDecision};
 
 use std::fmt;

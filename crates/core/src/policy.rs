@@ -138,7 +138,10 @@ impl Policy {
 
     /// Is the policy aware of *dynamic* asymmetry (the DAS family)?
     pub fn dynamic(self) -> bool {
-        matches!(self, Policy::Da | Policy::DamC | Policy::DamP | Policy::DHeft)
+        matches!(
+            self,
+            Policy::Da | Policy::DamC | Policy::DamP | Policy::DHeft
+        )
     }
 }
 
@@ -185,7 +188,13 @@ mod tests {
     fn priority_respect() {
         assert!(!Policy::Rws.respects_priority());
         assert!(!Policy::RwsmC.respects_priority());
-        for p in [Policy::Fa, Policy::FamC, Policy::Da, Policy::DamC, Policy::DamP] {
+        for p in [
+            Policy::Fa,
+            Policy::FamC,
+            Policy::Da,
+            Policy::DamC,
+            Policy::DamP,
+        ] {
             assert!(p.respects_priority());
         }
     }

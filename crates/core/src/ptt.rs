@@ -437,7 +437,11 @@ impl PttSnapshot {
     /// Panics if the snapshots have different shapes.
     pub fn delta(&self, other: &PttSnapshot) -> f64 {
         assert_eq!(self.widths, other.widths, "snapshot width axes differ");
-        assert_eq!(self.rows.len(), other.rows.len(), "snapshot core counts differ");
+        assert_eq!(
+            self.rows.len(),
+            other.rows.len(),
+            "snapshot core counts differ"
+        );
         let mut max = 0.0f64;
         for (ra, rb) in self.rows.iter().zip(&other.rows) {
             for (a, b) in ra.iter().zip(rb) {
@@ -704,7 +708,7 @@ mod tests {
             h.join().unwrap();
         }
         let v = ptt.predict(CoreId(0), 1).unwrap();
-        assert!(v.is_finite() && v >= 1.0 && v <= 8.0, "v={v}");
+        assert!(v.is_finite() && (1.0..=8.0).contains(&v), "v={v}");
     }
 
     #[test]
@@ -829,8 +833,8 @@ mod tests {
             ptt.seed(p.leader, p.width, 5.0);
         }
         ptt.seed(CoreId(20), 1, 0.5); // first core of node 1
-        // Probe on node 0, restricted to node 1: falls through to
-        // node-restricted scan and still lands on node 1.
+                                      // Probe on node 0, restricted to node 1: falls through to
+                                      // node-restricted scan and still lands on node 1.
         let p = ptt.global_search_sampled(false, Some(1), CoreId(0));
         assert_eq!(topo.cluster_of(p.leader).node, 1);
     }

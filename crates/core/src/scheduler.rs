@@ -396,7 +396,9 @@ mod tests {
     #[test]
     fn fa_round_robins_high_priority_onto_fast_cluster() {
         let s = sched(Policy::Fa);
-        let q: Vec<_> = (0..4).map(|_| s.on_wakeup(&high(), CoreId(5)).queue).collect();
+        let q: Vec<_> = (0..4)
+            .map(|_| s.on_wakeup(&high(), CoreId(5)).queue)
+            .collect();
         // Denver cores 0 and 1, alternating.
         assert_eq!(q, vec![CoreId(0), CoreId(1), CoreId(0), CoreId(1)]);
         assert!(!s.on_wakeup(&high(), CoreId(5)).stealable);
@@ -415,7 +417,7 @@ mod tests {
         }
         let best = s.topology().place(CoreId(1), 1).unwrap();
         s.record(TaskTypeId(0), best, 0.5); // first update replaced 10.0? no: weighted
-        // Force entry well below others regardless of averaging history.
+                                            // Force entry well below others regardless of averaging history.
         s.ptts().table(TaskTypeId(0)).seed(CoreId(1), 1, 0.5);
         let d = s.on_wakeup(&high(), CoreId(4));
         let p = d.pinned.unwrap();
@@ -540,14 +542,14 @@ mod tests {
 
     #[test]
     fn periodic_exploration_round_robins_places() {
-        let s = Scheduler::new(Arc::new(Topology::tx2()), Policy::DamP)
-            .with_periodic_exploration(2);
+        let s =
+            Scheduler::new(Arc::new(Topology::tx2()), Policy::DamP).with_periodic_exploration(2);
         let ptt = s.ptts().table(TaskTypeId(0));
         for p in s.topology().places() {
             ptt.seed(p.leader, p.width, 10.0);
         }
         ptt.seed(CoreId(1), 1, 0.1); // model's clear favourite
-        // Decisions 0, 2, 4 … follow the model; 1, 3, 5 … explore.
+                                     // Decisions 0, 2, 4 … follow the model; 1, 3, 5 … explore.
         let mut explored = std::collections::BTreeSet::new();
         for i in 0..32 {
             let p = s.on_wakeup(&high(), CoreId(0)).pinned.unwrap();

@@ -24,7 +24,11 @@ pub fn layered(ty: TaskTypeId, parallelism: usize, layers: usize) -> Dag {
     for layer in 0..layers {
         let mut critical = None;
         for i in 0..parallelism {
-            let prio = if i == 0 { Priority::High } else { Priority::Low };
+            let prio = if i == 0 {
+                Priority::High
+            } else {
+                Priority::Low
+            };
             let id = d.add_task(ty, prio);
             d.set_tag(id, layer as u64);
             if i == 0 {
@@ -97,13 +101,7 @@ pub fn fork_join(ty: TaskTypeId, width: usize, layers: usize) -> Dag {
 /// previous layer (so the DAG is connected layer-to-layer) plus random
 /// extra edges with probability `p_extra`. Always acyclic by
 /// construction.
-pub fn random_layered(
-    seed: u64,
-    layers: usize,
-    max_width: usize,
-    p_extra: f64,
-    types: u16,
-) -> Dag {
+pub fn random_layered(seed: u64, layers: usize, max_width: usize, p_extra: f64, types: u16) -> Dag {
     assert!(layers >= 1 && max_width >= 1 && types >= 1);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut d = Dag::new(format!("random-{seed}"));
@@ -156,7 +154,11 @@ pub fn data_parallel_iteration(
         id
     };
     for c in 0..chunks {
-        let prio = if c == 0 { Priority::High } else { Priority::Low };
+        let prio = if c == 0 {
+            Priority::High
+        } else {
+            Priority::Low
+        };
         let id = d.add_task(compute_ty, prio);
         d.set_tag(id, iteration);
         if c == 0 {
@@ -180,7 +182,11 @@ pub fn wavefront(ty: TaskTypeId, n: usize) -> Dag {
     let idx = |i: usize, j: usize| TaskId((i * n + j) as u32);
     for i in 0..n {
         for j in 0..n {
-            let prio = if i == j { Priority::High } else { Priority::Low };
+            let prio = if i == j {
+                Priority::High
+            } else {
+                Priority::Low
+            };
             let id = d.add_task(ty, prio);
             debug_assert_eq!(id, idx(i, j));
             d.set_tag(id, (i + j) as u64); // anti-diagonal index
@@ -230,12 +236,12 @@ pub fn cholesky_like(b: usize) -> Dag {
         d.set_tag(p, k as u64);
         dep(&mut d, writer[k][k], p);
         writer[k][k] = Some(p);
-        for i in k + 1..b {
+        for row in writer.iter_mut().take(b).skip(k + 1) {
             let t = d.add_task(trsm, Priority::Low);
             d.set_tag(t, k as u64);
             dep(&mut d, Some(p), t);
-            dep(&mut d, writer[i][k], t);
-            writer[i][k] = Some(t);
+            dep(&mut d, row[k], t);
+            row[k] = Some(t);
         }
         for i in k + 1..b {
             for j in k + 1..=i {
@@ -374,10 +380,7 @@ mod tests {
         assert_eq!(d.len(), 17);
         assert_eq!(d.num_high_priority(), 1);
         assert_eq!(d.roots().len(), 16);
-        let (big, _) = d
-            .iter()
-            .find(|(_, n)| n.meta.priority.is_high())
-            .unwrap();
+        let (big, _) = d.iter().find(|(_, n)| n.meta.priority.is_high()).unwrap();
         assert_eq!(d.node(big).work_scale, 2.0);
         assert_eq!(d.node(big).tag, 7);
     }
@@ -394,7 +397,7 @@ mod tests {
         // Exactly one root (0,0) and interior in-degrees of 2.
         assert_eq!(d.roots(), vec![TaskId(0)]);
         assert_eq!(d.node(TaskId(6)).num_preds, 2); // (1,1)
-        // The single-cell wavefront degenerates to one critical task.
+                                                    // The single-cell wavefront degenerates to one critical task.
         let one = wavefront(TaskTypeId(0), 1);
         assert_eq!(one.len(), 1);
         assert_eq!(one.num_high_priority(), 1);

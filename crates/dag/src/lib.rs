@@ -238,7 +238,10 @@ impl Dag {
 
     /// Number of high-priority tasks.
     pub fn num_high_priority(&self) -> usize {
-        self.nodes.iter().filter(|n| n.meta.priority.is_high()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.meta.priority.is_high())
+            .count()
     }
 
     /// Distinct task types present.
@@ -365,9 +368,9 @@ mod tests {
         assert_eq!(d.num_high_priority(), 4);
         assert_eq!(d.roots(), vec![TaskId(0)]);
         assert_eq!(d.longest_path_len(), 4); // T0 -> T1 -> T5 -> T9
-        // 10 tasks / longest path 4 = 2.5... the paper rounds the *running*
-        // width; our definition (total / longest path) gives 2.5 here. The
-        // synthetic generator (same counting) is what the experiments use.
+                                             // 10 tasks / longest path 4 = 2.5... the paper rounds the *running*
+                                             // width; our definition (total / longest path) gives 2.5 here. The
+                                             // synthetic generator (same counting) is what the experiments use.
         assert!((d.dag_parallelism() - 2.5).abs() < 1e-9);
     }
 

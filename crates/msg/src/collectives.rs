@@ -257,8 +257,7 @@ mod tests {
     #[test]
     fn scatter_distributes_parts() {
         let got = on_ranks(4, |e| {
-            let parts = (e.rank() == 1)
-                .then(|| (0..4).map(|d| vec![d as f64 * 10.0]).collect());
+            let parts = (e.rank() == 1).then(|| (0..4).map(|d| vec![d as f64 * 10.0]).collect());
             e.scatter(1, parts)
         });
         for (r, part) in got.iter().enumerate() {

@@ -141,7 +141,10 @@ impl Endpoint {
         let mbox = &self.shared.boxes[dst];
         {
             let mut slots = mbox.slots.lock();
-            slots.entry((self.rank, tag)).or_default().push_back(payload);
+            slots
+                .entry((self.rank, tag))
+                .or_default()
+                .push_back(payload);
         }
         mbox.cond.notify_all();
     }

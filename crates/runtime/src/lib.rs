@@ -56,7 +56,7 @@ mod stats;
 pub use graph::{TaskCtx, TaskFn, TaskGraph};
 pub use stats::{PlaceKey, RtStats};
 
-use das_core::{Policy, Scheduler};
+use das_core::{Policy, ReadyEntry, ReadyQueue, Scheduler};
 use das_dag::{DagError, TaskId};
 use das_topology::{CoreId, ExecutionPlace, Topology};
 use parking_lot::{Condvar, Mutex};
@@ -72,13 +72,6 @@ use std::time::{Duration, Instant};
 /// harmless.
 const PARK_TIMEOUT: Duration = Duration::from_micros(200);
 
-#[derive(Clone, Copy)]
-struct Queued {
-    task: TaskId,
-    pinned: Option<ExecutionPlace>,
-    stealable: bool,
-}
-
 struct Assembly {
     task: TaskId,
     place: ExecutionPlace,
@@ -87,7 +80,10 @@ struct Assembly {
 
 #[derive(Default)]
 struct WorkerQ {
-    wsq: Mutex<VecDeque<Queued>>,
+    /// The shared `das-core` ready-queue discipline behind a lock: every
+    /// pop/steal ordering decision is delegated to it, so worker threads
+    /// behave exactly like the simulator's modelled cores.
+    wsq: Mutex<ReadyQueue<TaskId>>,
     aq: Mutex<VecDeque<Arc<Assembly>>>,
 }
 
@@ -119,20 +115,20 @@ impl Job<'_> {
     fn wakeup(&self, task: TaskId, waking_core: usize) {
         let meta = self.graph.shape().node(task).meta;
         let d = self.sched.on_wakeup(&meta, CoreId(waking_core));
-        self.queues[d.queue.0].wsq.lock().push_back(Queued {
-            task,
-            pinned: d.pinned,
-            stealable: d.stealable,
-        });
+        self.queues[d.queue.0]
+            .wsq
+            .lock()
+            .push(ReadyEntry::new(task, &d));
         self.notify();
     }
 
     /// Dequeue decision + AQ insertion (Fig. 3 steps 4–6).
-    fn dispatch(&self, q: Queued, core: usize) {
-        let meta = self.graph.shape().node(q.task).meta;
-        let place = self.sched.on_dequeue(&meta, CoreId(core), q.pinned);
+    fn dispatch(&self, entry: ReadyEntry<TaskId>, core: usize) {
+        let (task, pinned) = entry.into_parts();
+        let meta = self.graph.shape().node(task).meta;
+        let place = self.sched.on_dequeue(&meta, CoreId(core), pinned);
         let asm = Arc::new(Assembly {
-            task: q.task,
+            task,
             place,
             pending: AtomicUsize::new(place.width),
         });
@@ -196,27 +192,25 @@ impl Job<'_> {
         }
     }
 
-    /// Steal the oldest eligible entry, scanning victims from a random
-    /// starting point.
-    fn try_steal(&self, thief: usize, rng: &mut SmallRng) -> Option<Queued> {
+    /// Scan victims from a random starting point; the entry taken from a
+    /// victim is chosen by the shared `das-core` queue discipline.
+    fn try_steal(&self, thief: usize, rng: &mut SmallRng) -> Option<ReadyEntry<TaskId>> {
         let n = self.queues.len();
         if n <= 1 {
             return None;
         }
+        let eligible = |task: &TaskId| {
+            self.sched
+                .may_run_on(&self.graph.shape().node(*task).meta, CoreId(thief))
+        };
         let start = rng.gen_range(0..n);
         for off in 0..n {
             let v = (start + off) % n;
             if v == thief {
                 continue;
             }
-            let mut wsq = self.queues[v].wsq.lock();
-            if let Some(idx) = wsq.iter().position(|q| {
-                q.stealable
-                    && self
-                        .sched
-                        .may_run_on(&self.graph.shape().node(q.task).meta, CoreId(thief))
-            }) {
-                return wsq.remove(idx);
+            if let Some(entry) = self.queues[v].wsq.lock().steal(eligible) {
+                return Some(entry);
             }
         }
         None
@@ -229,23 +223,17 @@ impl Job<'_> {
             if self.participate(core, &mut busy) {
                 continue;
             }
-            // Service explicitly placed (non-stealable) entries first,
-            // oldest first — their placement decision is binding and no
-            // other worker may take them; stealable entries pop LIFO.
-            let own = {
-                let mut wsq = self.queues[core].wsq.lock();
-                match wsq.iter().position(|q| !q.stealable) {
-                    Some(i) => wsq.remove(i),
-                    None => wsq.pop_back(),
-                }
-            };
-            if let Some(q) = own {
-                self.dispatch(q, core);
+            // The pop order (pinned entries first, oldest first, then
+            // the backlog) is the shared `das-core` discipline — see
+            // `ReadyQueue::pop_own`.
+            let own = self.queues[core].wsq.lock().pop_own();
+            if let Some(entry) = own {
+                self.dispatch(entry, core);
                 continue;
             }
-            if let Some(q) = self.try_steal(core, &mut rng) {
+            if let Some(entry) = self.try_steal(core, &mut rng) {
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                self.dispatch(q, core);
+                self.dispatch(entry, core);
                 continue;
             }
             if self.stop.load(Ordering::Acquire) {
@@ -492,7 +480,7 @@ mod tests {
         assert_eq!(all, 51);
         assert_eq!(high, 10);
         // FA pins high-priority tasks to the fast (big) cluster: cores 0,1.
-        for ((core, _), _) in &st.high_priority_places {
+        for (core, _) in st.high_priority_places.keys() {
             assert!(*core < 2);
         }
     }

@@ -61,9 +61,7 @@ impl Scenario {
     pub fn memory_bandwidth(core: CoreId, pressure: f64, from: f64, until: f64) -> Scenario {
         Scenario {
             name: "membw",
-            description: format!(
-                "memory-bandwidth hog on {core}, cluster pressure {pressure:.2}"
-            ),
+            description: format!("memory-bandwidth hog on {core}, cluster pressure {pressure:.2}"),
             mods: vec![Modifier::CoRunner {
                 core,
                 cpu_share: 0.5,
@@ -162,12 +160,7 @@ impl Scenario {
     /// machine round-robin (an OS housekeeping daemon bouncing between
     /// cores). Each core suffers `factor` for `dwell` seconds in turn,
     /// cycling until `until`.
-    pub fn rolling_interference(
-        topo: &Topology,
-        factor: f64,
-        dwell: f64,
-        until: f64,
-    ) -> Scenario {
+    pub fn rolling_interference(topo: &Topology, factor: f64, dwell: f64, until: f64) -> Scenario {
         assert!(dwell > 0.0 && until.is_finite());
         let n = topo.num_cores();
         let mut mods = Vec::new();
@@ -326,7 +319,8 @@ mod tests {
         let env_c = c.environment(Arc::clone(&topo));
         let differs = (0..300).any(|k| {
             let t = k as f64 * 0.1;
-            topo.cores().any(|core| env_a.speed(core, t) != env_c.speed(core, t))
+            topo.cores()
+                .any(|core| env_a.speed(core, t) != env_c.speed(core, t))
         });
         assert!(differs);
     }

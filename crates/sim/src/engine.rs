@@ -7,7 +7,7 @@ use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use das_core::{Scheduler, TaskTypeId};
+use das_core::{ReadyEntry, ReadyQueue, Scheduler, TaskTypeId};
 use das_dag::{Dag, DagError, TaskId};
 use das_topology::{CoreId, ExecutionPlace};
 use rand::rngs::SmallRng;
@@ -49,14 +49,6 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// An entry of a simulated work-stealing queue.
-#[derive(Clone, Copy, Debug)]
-struct Queued {
-    task: TaskId,
-    pinned: Option<ExecutionPlace>,
-    stealable: bool,
-}
-
 /// A dispatched moldable task occupying `width` cores.
 struct Assembly {
     task: TaskId,
@@ -76,7 +68,10 @@ struct Assembly {
 
 #[derive(Default)]
 struct CoreState {
-    wsq: VecDeque<Queued>,
+    /// The shared `das-core` ready-queue discipline: every pop/steal
+    /// ordering decision is delegated to it, so the simulated workers
+    /// behave exactly like the threaded runtime's.
+    wsq: ReadyQueue<TaskId>,
     aq: VecDeque<usize>,
     busy: bool,
     poll_pending: bool,
@@ -326,15 +321,12 @@ impl Simulator {
         let node = dag.node(task);
         self.stats.record_tag_event(node.tag, t);
         let d = self.sched.on_wakeup(&node.meta, CoreId(waking_core));
-        let q = Queued {
-            task,
-            pinned: d.pinned,
-            stealable: d.stealable,
-        };
-        self.cores[d.queue.0].wsq.push_back(q);
+        let entry = ReadyEntry::new(task, &d);
+        let migratable = entry.is_stealable();
+        self.cores[d.queue.0].wsq.push(entry);
         let wl = self.cfg.params.wake_latency;
         self.wake_at(d.queue.0, t + wl);
-        if d.stealable {
+        if migratable {
             // Idle cores may steal it: wake every sleeper. Woken cores
             // that lose the race simply go back to sleep.
             for c in 0..self.cores.len() {
@@ -354,68 +346,50 @@ impl Simulator {
             self.join(dag, c, aid);
             return;
         }
-        // 2. Own WSQ. Explicitly placed entries (pinned high-priority
-        // tasks — the ones nobody may steal) are serviced first, oldest
-        // first: their placement decision said "run here as soon as
-        // possible", and letting a stealable sibling jump ahead would
-        // block the critical path behind work any idle core could have
-        // taken (§4.1.2: stealing of high-priority tasks is disabled "to
-        // guarantee that all such tasks are executed according to their
-        // scheduling decision"). Stealable entries pop newest-first
-        // (LIFO owner end), the classic work-stealing discipline.
-        let own = {
-            let wsq = &mut self.cores[c].wsq;
-            match wsq.iter().position(|q| !q.stealable) {
-                Some(i) => wsq.remove(i),
-                None => wsq.pop_back(),
-            }
-        };
-        if let Some(q) = own {
-            self.dispatch(dag, q, c, self.now + self.cfg.params.dispatch_overhead);
+        // 2. Own WSQ. The pop order (pinned-first FIFO, then the
+        // stealable backlog newest-first) is the shared `das-core`
+        // discipline — see `ReadyQueue::pop_own` for the rationale.
+        if let Some(entry) = self.cores[c].wsq.pop_own() {
+            self.dispatch(dag, entry, c, self.now + self.cfg.params.dispatch_overhead);
             return;
         }
-        // 3. Random steal of the oldest stealable entry of a victim.
-        if let Some(q) = self.try_steal(dag, c) {
+        // 3. Random steal from a victim (`ReadyQueue::steal` picks the
+        // entry).
+        if let Some(entry) = self.try_steal(dag, c) {
             self.stats.steals += 1;
             let t = self.now + self.cfg.params.steal_overhead + self.cfg.params.dispatch_overhead;
-            self.dispatch(dag, q, c, t);
+            self.dispatch(dag, entry, c, t);
             return;
         }
         self.stats.failed_steals += 1;
         // Nothing to do: sleep until woken by a push or a completion.
     }
 
-    /// Steal scan: victims are cores whose WSQ holds at least one entry
-    /// stealable by `thief`; the victim is chosen uniformly at random
-    /// (seeded RNG) and its *oldest* eligible entry taken (FIFO end).
-    fn try_steal(&mut self, dag: &Dag, thief: usize) -> Option<Queued> {
-        let mut candidates: Vec<(usize, usize)> = Vec::new();
-        for v in 0..self.cores.len() {
-            if v == thief {
-                continue;
-            }
-            if let Some(idx) = self.cores[v].wsq.iter().position(|q| {
-                q.stealable && self.sched.may_run_on(&dag.node(q.task).meta, CoreId(thief))
-            }) {
-                candidates.push((v, idx));
-            }
-        }
-        if candidates.is_empty() {
+    /// Steal scan: victims are cores whose WSQ would yield an entry to
+    /// this thief; the victim is chosen uniformly at random (seeded RNG)
+    /// and the entry itself by the shared queue discipline.
+    fn try_steal(&mut self, dag: &Dag, thief: usize) -> Option<ReadyEntry<TaskId>> {
+        let sched = Arc::clone(&self.sched);
+        let eligible = |task: &TaskId| sched.may_run_on(&dag.node(*task).meta, CoreId(thief));
+        let victims: Vec<usize> = (0..self.cores.len())
+            .filter(|&v| v != thief && self.cores[v].wsq.can_steal(eligible))
+            .collect();
+        if victims.is_empty() {
             return None;
         }
-        let pick = self.rng.gen_range(0..candidates.len());
-        let (v, idx) = candidates[pick];
-        self.cores[v].wsq.remove(idx)
+        let v = victims[self.rng.gen_range(0..victims.len())];
+        self.cores[v].wsq.steal(eligible)
     }
 
     /// Dequeue-time decision (Fig. 3 steps 4–6): pick the final place and
     /// insert the assembly into the AQ of every member core.
-    fn dispatch(&mut self, dag: &Dag, q: Queued, core: usize, t: f64) {
-        let node = dag.node(q.task);
-        let place = self.sched.on_dequeue(&node.meta, CoreId(core), q.pinned);
+    fn dispatch(&mut self, dag: &Dag, entry: ReadyEntry<TaskId>, core: usize, t: f64) {
+        let (task, pinned) = entry.into_parts();
+        let node = dag.node(task);
+        let place = self.sched.on_dequeue(&node.meta, CoreId(core), pinned);
         let aid = self.assemblies.len();
         self.assemblies.push(Assembly {
-            task: q.task,
+            task,
             ty: node.meta.ty,
             place,
             joined: 0,
@@ -692,7 +666,11 @@ mod tests {
         let st = s.run(&dag).unwrap();
         assert_eq!(st.tasks, 1);
         // 1 ms of work on a 2.0-speed denver core 0 -> 0.5 ms + overheads.
-        assert!(st.makespan >= 0.5e-3 && st.makespan < 0.7e-3, "{}", st.makespan);
+        assert!(
+            st.makespan >= 0.5e-3 && st.makespan < 0.7e-3,
+            "{}",
+            st.makespan
+        );
     }
 
     #[test]
@@ -759,7 +737,10 @@ mod tests {
         let high_total: usize = st.high_priority_places.values().sum();
         assert_eq!(high_total, 200);
         for ((core, _w), n) in &st.high_priority_places {
-            assert!(*core < 2, "FA must pin to denver cores, found core {core} x{n}");
+            assert!(
+                *core < 2,
+                "FA must pin to denver cores, found core {core} x{n}"
+            );
         }
     }
 
@@ -827,7 +808,10 @@ mod tests {
         let dag = generators::layered(TaskTypeId(0), 4, 300);
         let st = s.run(&dag).unwrap();
         let widths: BTreeSet<usize> = st.all_places.keys().map(|&(_, w)| w).collect();
-        assert!(widths.len() > 1, "molding never used any width > 1: {widths:?}");
+        assert!(
+            widths.len() > 1,
+            "molding never used any width > 1: {widths:?}"
+        );
     }
 
     #[test]
@@ -859,7 +843,9 @@ mod tests {
         assert!(second.makespan <= first.makespan * 1.25);
         // And the model retains observations.
         let ptt = s.scheduler().ptts().table(TaskTypeId(0));
-        assert!(ptt.predict(CoreId(0), 1).unwrap() > 0.0 || ptt.predict(CoreId(1), 1).unwrap() > 0.0);
+        assert!(
+            ptt.predict(CoreId(0), 1).unwrap() > 0.0 || ptt.predict(CoreId(1), 1).unwrap() > 0.0
+        );
     }
 
     #[test]
@@ -871,7 +857,10 @@ mod tests {
         let trace = s.take_trace();
         assert_eq!(trace.num_cores, 6);
         assert!(trace.makespan > 0.0);
-        assert!(trace.find_overlap().is_none(), "no core runs two tasks at once");
+        assert!(
+            trace.find_overlap().is_none(),
+            "no core runs two tasks at once"
+        );
         // Width-1 tasks leave one span each; wider leave one per member,
         // so spans >= tasks.
         assert!(trace.spans.len() >= st.tasks);
@@ -896,12 +885,15 @@ mod tests {
         // one core.
         let topo = Arc::new(Topology::tx2());
         let mut s = Simulator::new(
-            SimConfig::new(Arc::clone(&topo), Policy::DamC)
-                .cost(Arc::new(UniformCost::new(1e-3))),
+            SimConfig::new(Arc::clone(&topo), Policy::DamC).cost(Arc::new(UniformCost::new(1e-3))),
         );
         let dag = generators::layered(TaskTypeId(0), 2, 400);
         let st = s.run(&dag).unwrap();
-        let active = st.core_work.iter().filter(|&&w| w > 0.1 * st.makespan).count();
+        let active = st
+            .core_work
+            .iter()
+            .filter(|&&w| w > 0.1 * st.makespan)
+            .count();
         assert!(
             active >= 2,
             "low-priority siblings must run concurrently with criticals: {:?}",

@@ -212,8 +212,7 @@ impl Modifier {
     /// value, if any.
     fn next_change_after(&self, t: f64) -> Option<f64> {
         match *self {
-            Modifier::CoRunner { from, until, .. }
-            | Modifier::Slowdown { from, until, .. } => {
+            Modifier::CoRunner { from, until, .. } | Modifier::Slowdown { from, until, .. } => {
                 if t < from {
                     Some(from)
                 } else if t < until && until.is_finite() {
@@ -368,7 +367,7 @@ mod tests {
         assert_eq!(e.speed(CoreId(0), 4.999), 2.0);
         assert!((e.speed(CoreId(0), 5.0) - lo).abs() < 1e-12); // low phase
         assert_eq!(e.speed(CoreId(0), 10.0), 2.0); // high again
-        // A57 cluster unaffected.
+                                                   // A57 cluster unaffected.
         assert_eq!(e.speed(CoreId(2), 5.0), 1.0);
         // Change points at every multiple of 5 s.
         assert_eq!(e.next_change_after(0.0), Some(5.0));
@@ -411,7 +410,9 @@ mod tests {
         });
         let mut t = 0.0;
         for _ in 0..10_000 {
-            let next = e.next_change_after(t).expect("infinite wave keeps changing");
+            let next = e
+                .next_change_after(t)
+                .expect("infinite wave keeps changing");
             assert!(next > t, "no progress at t={t}");
             t = next;
         }

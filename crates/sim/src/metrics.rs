@@ -81,12 +81,7 @@ impl RunStats {
         self.tag_span.get(&tag).map(|(a, b)| b - a)
     }
 
-    pub(crate) fn record_commit(
-        &mut self,
-        place: (usize, usize),
-        high: bool,
-        tag: u64,
-    ) {
+    pub(crate) fn record_commit(&mut self, place: (usize, usize), high: bool, tag: u64) {
         self.tasks += 1;
         *self.all_places.entry(place).or_insert(0) += 1;
         if high {

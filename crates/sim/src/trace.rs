@@ -63,7 +63,12 @@ impl Trace {
 
     /// Spans executed by `core`, in time order.
     pub fn spans_of_core(&self, core: usize) -> Vec<Span> {
-        let mut v: Vec<Span> = self.spans.iter().filter(|s| s.core == core).copied().collect();
+        let mut v: Vec<Span> = self
+            .spans
+            .iter()
+            .filter(|s| s.core == core)
+            .copied()
+            .collect();
         v.sort_by(|a, b| a.start.total_cmp(&b.start));
         v
     }

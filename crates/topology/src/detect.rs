@@ -39,7 +39,10 @@ fn detect_from(cpu_root: &Path) -> Option<Topology> {
         let entry = entry.ok()?;
         let name = entry.file_name();
         let name = name.to_str()?;
-        if let Some(idx) = name.strip_prefix("cpu").and_then(|s| s.parse::<usize>().ok()) {
+        if let Some(idx) = name
+            .strip_prefix("cpu")
+            .and_then(|s| s.parse::<usize>().ok())
+        {
             // Skip offline CPUs.
             let online = cpu_root.join(name).join("online");
             if online.exists() {
@@ -129,7 +132,11 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         for cpu in 0..6usize {
             let base = dir.join(format!("cpu{cpu}"));
-            let (l2_list, l1) = if cpu < 2 { ("0-1", "64K") } else { ("2-5", "32K") };
+            let (l2_list, l1) = if cpu < 2 {
+                ("0-1", "64K")
+            } else {
+                ("2-5", "32K")
+            };
             fs::create_dir_all(base.join("cache/index0")).unwrap();
             fs::create_dir_all(base.join("cache/index2")).unwrap();
             fs::create_dir_all(base.join("topology")).unwrap();

@@ -135,7 +135,9 @@ mod tests {
     #[test]
     fn cores_of_node_partition_the_machine() {
         let t = Topology::haswell_cluster(3);
-        let mut all: Vec<_> = (0..t.num_nodes()).flat_map(|n| t.cores_of_node(n)).collect();
+        let mut all: Vec<_> = (0..t.num_nodes())
+            .flat_map(|n| t.cores_of_node(n))
+            .collect();
         all.sort();
         assert_eq!(all, t.cores().collect::<Vec<_>>());
         assert_eq!(t.node_of(CoreId(45)), 2);

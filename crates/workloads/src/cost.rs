@@ -80,35 +80,30 @@ impl PaperCost {
     fn cluster_affinity(&self, ty: TaskTypeId, cluster: &Cluster) -> f64 {
         let fast = cluster.base_speed > 1.0;
         match ty {
-            types::MATMUL | types::INTERFERE
-                if fast => {
-                    // The wide out-of-order advantage needs work to chew
-                    // on: on tiny L1-resident tiles (n <= 32) both core
-                    // kinds sustain their FMA pipes and the Denver edge
-                    // mostly evaporates — which is why the Fig. 8
-                    // sensitivity to model noise exists at tile 32 and
-                    // nowhere else (the best places sit near parity and
-                    // a few bad samples flip the ranking).
-                    if self.tile <= 32 {
-                        1.05
-                    } else {
-                        1.5
-                    }
+            types::MATMUL | types::INTERFERE if fast => {
+                // The wide out-of-order advantage needs work to chew
+                // on: on tiny L1-resident tiles (n <= 32) both core
+                // kinds sustain their FMA pipes and the Denver edge
+                // mostly evaporates — which is why the Fig. 8
+                // sensitivity to model noise exists at tile 32 and
+                // nowhere else (the best places sit near parity and
+                // a few bad samples flip the ranking).
+                if self.tile <= 32 {
+                    1.05
+                } else {
+                    1.5
                 }
-            types::COPY
-                if fast => {
-                    // Bandwidth-bound: compute speed barely matters, but
-                    // the big cores keep a modest streaming edge (wider
-                    // load/store pipes), so divide most — not all — of
-                    // the base advantage back out. This preserves the
-                    // paper's Fig. 4(b) ordering where the criticality-
-                    // aware FA still beats RWS on Copy.
-                    1.3 / cluster.base_speed
-                }
-            types::STENCIL
-                if fast => {
-                    1.2
-                }
+            }
+            types::COPY if fast => {
+                // Bandwidth-bound: compute speed barely matters, but
+                // the big cores keep a modest streaming edge (wider
+                // load/store pipes), so divide most — not all — of
+                // the base advantage back out. This preserves the
+                // paper's Fig. 4(b) ordering where the criticality-
+                // aware FA still beats RWS on Copy.
+                1.3 / cluster.base_speed
+            }
+            types::STENCIL if fast => 1.2,
             _ => 1.0,
         }
     }

@@ -196,7 +196,7 @@ mod tests {
         input[2 * cols + 2] = 4.0;
         let mut out = vec![0.0; rows * cols];
         stencil_rows(&input, &mut out, rows, cols, 0, 1);
-        assert_eq!(out[1 * cols + 2], 1.0);
+        assert_eq!(out[cols + 2], 1.0);
         assert_eq!(out[3 * cols + 2], 1.0);
         assert_eq!(out[2 * cols + 1], 1.0);
         assert_eq!(out[2 * cols + 3], 1.0);

@@ -22,6 +22,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
+/// Per-chunk accumulator shared between assignment tasks: centroid
+/// coordinate sums and per-centroid counts.
+type PartialSums = Arc<Vec<Mutex<(Vec<f64>, Vec<usize>)>>>;
+
 /// A K-means problem instance: `n` points of dimension `dim`, flattened
 /// row-major.
 #[derive(Clone, Debug)]
@@ -198,7 +202,7 @@ impl KMeans {
     ) -> Vec<f64> {
         let bounds = self.chunk_bounds(chunks);
         let cents = Arc::new(centroids.to_vec());
-        let partials: Arc<Vec<Mutex<(Vec<f64>, Vec<usize>)>>> = Arc::new(
+        let partials: PartialSums = Arc::new(
             (0..chunks)
                 .map(|_| Mutex::new((vec![0.0; self.k * self.dim], vec![0usize; self.k])))
                 .collect(),
@@ -208,7 +212,11 @@ impl KMeans {
         let mut g = TaskGraph::new(format!("kmeans-it{iter}"));
         let mut chunk_ids = Vec::with_capacity(chunks);
         for (ci, &(lo, hi)) in bounds.iter().enumerate() {
-            let prio = if ci == 0 { Priority::High } else { Priority::Low };
+            let prio = if ci == 0 {
+                Priority::High
+            } else {
+                Priority::Low
+            };
             let me = self.clone();
             let cents = Arc::clone(&cents);
             let partials = Arc::clone(&partials);
@@ -269,7 +277,7 @@ impl KMeans {
     ) -> (Vec<f64>, Vec<usize>) {
         let bounds = self.chunk_bounds(chunks.max(1));
         let cents = Arc::new(centroids.to_vec());
-        let partials: Arc<Vec<Mutex<(Vec<f64>, Vec<usize>)>>> = Arc::new(
+        let partials: PartialSums = Arc::new(
             bounds
                 .iter()
                 .map(|_| Mutex::new((vec![0.0; self.k * self.dim], vec![0usize; self.k])))
@@ -277,7 +285,11 @@ impl KMeans {
         );
         let mut g = TaskGraph::new(format!("kmeans-partials-it{iter}"));
         for (ci, &(lo, hi)) in bounds.iter().enumerate() {
-            let prio = if ci == 0 { Priority::High } else { Priority::Low };
+            let prio = if ci == 0 {
+                Priority::High
+            } else {
+                Priority::Low
+            };
             let me = self.clone();
             let cents = Arc::clone(&cents);
             let partials = Arc::clone(&partials);
@@ -417,7 +429,7 @@ mod tests {
         let km = KMeans::generate(101, 3, 4, 7);
         let c = km.initial_centroids();
         let (full_s, full_c) = km.partial(&c, 0, km.len(), 0, 1);
-        let mut s = vec![0.0; 12];
+        let mut s = [0.0; 12];
         let mut n = vec![0usize; 4];
         for rank in 0..3 {
             let (ps, pc) = km.partial(&c, 0, km.len(), rank, 3);
@@ -486,6 +498,9 @@ mod tests {
         d.validate().unwrap();
         assert_eq!(d.len(), 17);
         assert_eq!(d.num_high_priority(), 1);
-        assert_eq!(d.task_types(), vec![types::KMEANS_CHUNK, types::KMEANS_REDUCE]);
+        assert_eq!(
+            d.task_types(),
+            vec![types::KMEANS_CHUNK, types::KMEANS_REDUCE]
+        );
     }
 }

@@ -46,7 +46,10 @@ fn main() {
 
     println!("\nwhere the time went, per task type:");
     for (ty, n, total, mean) in trace.by_type() {
-        println!("  {ty}: {n} spans, {total:.3}s busy, mean {:.3}ms", mean * 1e3);
+        println!(
+            "  {ty}: {n} spans, {total:.3}s busy, mean {:.3}ms",
+            mean * 1e3
+        );
     }
 
     println!("\nASCII Gantt (digit = task type, '.' = idle):");

@@ -13,8 +13,8 @@
 
 use das::core::Policy;
 use das::dag::{analysis, generators, Dag};
-use das::sim::{Environment, Modifier, SimConfig, Simulator};
 use das::sim::cost::TableCost;
+use das::sim::{Environment, Modifier, SimConfig, Simulator};
 use das::topology::{CoreId, Topology};
 use std::sync::Arc;
 
@@ -31,8 +31,7 @@ fn run(dag: &Dag, topo: &Arc<Topology>) -> f64 {
         SimConfig::new(Arc::clone(topo), Policy::DamP).cost(Arc::new(cholesky_cost())),
     );
     sim.set_env(
-        Environment::interference_free(Arc::clone(topo))
-            .and(Modifier::compute_corunner(CoreId(0))),
+        Environment::interference_free(Arc::clone(topo)).and(Modifier::compute_corunner(CoreId(0))),
     );
     sim.run(dag).expect("sim run").makespan
 }
@@ -63,9 +62,15 @@ fn main() {
     let t_hops = run(&hops, &topo);
     let t_weighted = run(&weighted, &topo);
 
-    println!("{:<28} {:>10} {:>12}", "criticality", "critical", "makespan");
+    println!(
+        "{:<28} {:>10} {:>12}",
+        "criticality", "critical", "makespan"
+    );
     println!("{:<28} {:>10} {:>11.3}s", "none (all low)", 0, t_none);
-    println!("{:<28} {:>10} {:>11.3}s", "hop-count critical path", n_hops, t_hops);
+    println!(
+        "{:<28} {:>10} {:>11.3}s",
+        "hop-count critical path", n_hops, t_hops
+    );
     println!(
         "{:<28} {:>10} {:>11.3}s",
         "work-weighted, 5% slack", n_weighted, t_weighted

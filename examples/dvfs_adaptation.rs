@@ -22,8 +22,7 @@ fn main() {
             SimConfig::new(Arc::clone(&topo), policy).cost(Arc::new(PaperCost::new())),
         );
         sim.set_env(
-            Environment::interference_free(Arc::clone(&topo))
-                .and(Modifier::tx2_dvfs(ClusterId(0))),
+            Environment::interference_free(Arc::clone(&topo)).and(Modifier::tx2_dvfs(ClusterId(0))),
         );
         let dag = generators::layered(TaskTypeId(0), 3, 4000);
         let st = sim.run(&dag).expect("sim run");

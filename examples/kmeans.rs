@@ -39,5 +39,7 @@ fn main() {
         );
         assert!(max_err < 1e-9, "parallel k-means must match the reference");
     }
-    println!("\nAll schedulers produce bit-equal clusterings; they differ only in *where* chunks run.");
+    println!(
+        "\nAll schedulers produce bit-equal clusterings; they differ only in *where* chunks run."
+    );
 }

@@ -16,7 +16,11 @@ fn main() {
     // 1. Describe the platform. `detect()` probes sysfs; the TX2 builder
     //    gives the paper's asymmetric shape regardless of the host.
     let topo = Arc::new(Topology::big_little(2, 4, 2.0));
-    println!("platform: {} cores, {} clusters", topo.num_cores(), topo.num_clusters());
+    println!(
+        "platform: {} cores, {} clusters",
+        topo.num_cores(),
+        topo.num_clusters()
+    );
 
     // 2. Create a runtime with the DAM-C policy (Table 1).
     let rt = Runtime::new(Arc::clone(&topo), Policy::DamC);
@@ -52,5 +56,8 @@ fn main() {
 
     // 5. The learned model: one row per core, one column per width.
     let ptt = rt.scheduler().ptts().table(TaskTypeId(0));
-    println!("\nPerformance Trace Table (task type 0):\n{}", ptt.snapshot());
+    println!(
+        "\nPerformance Trace Table (task type 0):\n{}",
+        ptt.snapshot()
+    );
 }

@@ -53,8 +53,7 @@ fn quality(topo: &Arc<Topology>, sampled: bool) -> f64 {
     );
     sim.replace_scheduler(sched);
     sim.set_env(
-        Environment::interference_free(Arc::clone(topo))
-            .and(Modifier::compute_corunner(CoreId(0))),
+        Environment::interference_free(Arc::clone(topo)).and(Modifier::compute_corunner(CoreId(0))),
     );
     sim.run(&dag).expect("sim run").throughput()
 }

@@ -138,8 +138,20 @@ fn reduce_min_max_agree_with_gather() {
         let fold = |f: fn(f64, f64) -> f64, init: f64, i: usize| {
             gathered.iter().map(|p| p[i]).fold(init, f)
         };
-        assert_eq!(mn, vec![fold(f64::min, f64::INFINITY, 0), fold(f64::min, f64::INFINITY, 1)]);
-        assert_eq!(mx, vec![fold(f64::max, f64::NEG_INFINITY, 0), fold(f64::max, f64::NEG_INFINITY, 1)]);
+        assert_eq!(
+            mn,
+            vec![
+                fold(f64::min, f64::INFINITY, 0),
+                fold(f64::min, f64::INFINITY, 1)
+            ]
+        );
+        assert_eq!(
+            mx,
+            vec![
+                fold(f64::max, f64::NEG_INFINITY, 0),
+                fold(f64::max, f64::NEG_INFINITY, 1)
+            ]
+        );
     }
 }
 

@@ -18,10 +18,18 @@ fn matmul_graph_produces_correct_tiles() {
     let b = Arc::new(Tile::from_fn(32, |i, j| ((i + 7 * j) % 13) as f32));
     let want = matmul_ref(&a, &b);
 
-    for policy in [Policy::Rws, Policy::RwsmC, Policy::FamC, Policy::DamC, Policy::DamP] {
+    for policy in [
+        Policy::Rws,
+        Policy::RwsmC,
+        Policy::FamC,
+        Policy::DamC,
+        Policy::DamP,
+    ] {
         let rt = Runtime::new(Arc::new(Topology::big_little(2, 4, 2.0)), policy);
         let results: Arc<Vec<parking_lot_stub::Mutex<Tile>>> = Arc::new(
-            (0..24).map(|_| parking_lot_stub::Mutex::new(Tile::zero(32))).collect(),
+            (0..24)
+                .map(|_| parking_lot_stub::Mutex::new(Tile::zero(32)))
+                .collect(),
         );
         let mut g = TaskGraph::new("mm");
         let root = g.add(TaskTypeId(0), Priority::High, |_| {});
@@ -109,7 +117,11 @@ fn mixed_priority_stress() {
             let mut crit = None;
             for i in 0..4 {
                 let c = Arc::clone(&count);
-                let prio = if i == 0 { Priority::High } else { Priority::Low };
+                let prio = if i == 0 {
+                    Priority::High
+                } else {
+                    Priority::Low
+                };
                 let id = g.add(TaskTypeId((layer % 3) as u16), prio, move |ctx| {
                     if ctx.rank == 0 {
                         c.fetch_add(1, Ordering::Relaxed);

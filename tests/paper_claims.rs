@@ -28,7 +28,12 @@ fn corunner_env(topo: &Arc<Topology>, kernel: Kernel) -> Environment {
     Environment::interference_free(Arc::clone(topo)).and(m)
 }
 
-fn throughput(policy: Policy, kernel: Kernel, parallelism: usize, env_of: impl Fn(&Arc<Topology>) -> Environment) -> f64 {
+fn throughput(
+    policy: Policy,
+    kernel: Kernel,
+    parallelism: usize,
+    env_of: impl Fn(&Arc<Topology>) -> Environment,
+) -> f64 {
     let mut sim = tx2_sim(policy, 42);
     let topo = Arc::clone(&sim.config().topo);
     sim.set_env(env_of(&topo));
@@ -87,7 +92,10 @@ fn fig5_critical_task_distribution() {
     let st = fa.run(&dag).unwrap();
     let s0 = st.high_priority_share_on_core(0);
     let s1 = st.high_priority_share_on_core(1);
-    assert!((s0 - 0.5).abs() < 0.05 && (s1 - 0.5).abs() < 0.05, "FA {s0:.2}/{s1:.2}");
+    assert!(
+        (s0 - 0.5).abs() < 0.05 && (s1 - 0.5).abs() < 0.05,
+        "FA {s0:.2}/{s1:.2}"
+    );
 
     let mut da = tx2_sim(Policy::Da, 1);
     da.set_env(corunner_env(&topo, Kernel::MatMul));
@@ -215,8 +223,14 @@ fn fig10_heat_ordering() {
     let rws = run(Policy::Rws);
     let da = run(Policy::Da);
     let damc = run(Policy::DamC);
-    assert!(damc > rws * 1.2, "DAM-C {damc:.0} vs RWS {rws:.0} (paper +76%)");
-    assert!(damc > da, "moldability must help: DAM-C {damc:.0} vs DA {da:.0}");
+    assert!(
+        damc > rws * 1.2,
+        "DAM-C {damc:.0} vs RWS {rws:.0} (paper +76%)"
+    );
+    assert!(
+        damc > da,
+        "moldability must help: DAM-C {damc:.0} vs DA {da:.0}"
+    );
 }
 
 /// The co-runner-as-tasks ablation: modelling the interfering app as an
@@ -240,10 +254,7 @@ fn corunner_as_tasks_same_ordering() {
         }
         for (id, n) in chain.iter() {
             for &s in &n.succs {
-                d.add_edge(
-                    das::dag::TaskId(base + id.0),
-                    das::dag::TaskId(base + s.0),
-                );
+                d.add_edge(das::dag::TaskId(base + id.0), das::dag::TaskId(base + s.0));
             }
         }
         d

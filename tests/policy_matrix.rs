@@ -11,9 +11,8 @@ use std::sync::Arc;
 
 fn throughput(policy: Policy, scenario: Option<&Scenario>, parallelism: usize) -> f64 {
     let topo = Arc::new(Topology::tx2());
-    let mut sim = Simulator::new(
-        SimConfig::new(Arc::clone(&topo), policy).cost(Arc::new(PaperCost::new())),
-    );
+    let mut sim =
+        Simulator::new(SimConfig::new(Arc::clone(&topo), policy).cost(Arc::new(PaperCost::new())));
     if let Some(s) = scenario {
         sim.set_env(s.environment(Arc::clone(&topo)));
     }
@@ -138,8 +137,7 @@ fn sampled_search_quality_close_to_full_on_tx2() {
     let scenario = Scenario::cpu_occupy(das::topology::CoreId(0), 0.5, 0.0, f64::INFINITY);
     let run = |sampled: bool| {
         let sched = Arc::new(
-            das::core::Scheduler::new(Arc::clone(&topo), Policy::DamC)
-                .with_sampled_search(sampled),
+            das::core::Scheduler::new(Arc::clone(&topo), Policy::DamC).with_sampled_search(sampled),
         );
         let mut sim = Simulator::new(
             SimConfig::new(Arc::clone(&topo), Policy::DamC).cost(Arc::new(PaperCost::new())),

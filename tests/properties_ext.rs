@@ -162,7 +162,7 @@ proptest! {
             generators::diamond(TaskTypeId(2), n),
         ] {
             prop_assert!(dag.validate().is_ok(), "{}", dag.name());
-            prop_assert!(dag.len() >= 1);
+            prop_assert!(!dag.is_empty());
             prop_assert!(dag.topo_order().is_some());
         }
     }

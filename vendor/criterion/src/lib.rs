@@ -1,0 +1,319 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the `criterion` surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`bench_function`, `bench_with_input`,
+//! `throughput`, `sample_size`, `finish`), [`BenchmarkId`],
+//! [`Throughput`] and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! The measurement loop is deliberately simple — warm-up, then timed
+//! batches until a small time budget is spent — and reports mean time
+//! per iteration (plus element throughput when configured). It has none
+//! of real criterion's statistics, plots or baselines; it exists so
+//! `cargo bench` compiles and produces useful magnitude numbers offline.
+//! Set `CRITERION_QUICK=1` to cap each benchmark at a handful of
+//! iterations (CI smoke runs).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement context passed to every benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+    min_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the harness decides the iteration
+    /// count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (not recorded).
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= self.min_iters && start.elapsed() >= self.budget {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.iters_done = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier of one benchmark within a group: function name plus a
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (accepts plain strings too).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.into() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Throughput annotation: per-iteration work, used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    budget: Duration,
+    min_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion {
+            budget: if quick {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(200)
+            },
+            min_iters: if quick { 1 } else { 10 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, None, id, None, f);
+        self
+    }
+
+    /// Run a standalone benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(self, None, &id.id, None, |b| f(b, input));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_one(self.c, Some(&self.name), &id.id, self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark in this group with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_one(self.c, Some(&self.name), &id.id, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: c.budget,
+        min_iters: c.min_iters,
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.iters_done == 0 {
+        println!("{full:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters_done as f64;
+    let mut line = format!(
+        "{full:<48} {:>12}  ({} iters)",
+        fmt_time(per_iter),
+        b.iters_done
+    );
+    if let Some(t) = throughput {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = n as f64 / per_iter;
+        line.push_str(&format!("  {rate:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

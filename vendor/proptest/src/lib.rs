@@ -1,0 +1,408 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the `proptest` surface its property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, [`strategy::Just`],
+//!   numeric-range strategies, tuple strategies,
+//! * [`collection::vec`], [`sample::select`], [`arbitrary::any`],
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`],
+//! * [`test_runner::ProptestConfig`].
+//!
+//! Semantics: each test body runs `cases` times with inputs drawn from a
+//! per-case deterministic RNG (seed = case index), so failures reproduce
+//! exactly. There is **no shrinking** — a failing case panics with the
+//! normal assertion message; re-running reproduces it because the draw
+//! sequence is a pure function of the case index.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The deterministic per-case RNG handed to strategies.
+    pub struct TestRng(pub SmallRng);
+
+    impl TestRng {
+        /// RNG for case number `case` (pure function of the index).
+        pub fn for_case(case: u64) -> Self {
+            TestRng(SmallRng::seed_from_u64(
+                case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x7061_7261_6D70_7431,
+            ))
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::distributions::uniform::SampleRange;
+    use rand::Rng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with `f` (proptest's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.0.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_single(&mut rng.0)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_single(&mut rng.0)
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.0.gen_range(0..=u64::MAX)
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.0.gen_range(0..=u32::MAX)
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.0.gen_range(0..=usize::MAX)
+        }
+    }
+
+    /// Strategy over all values of `T` (proptest's `any::<T>()`).
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// All values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The result of [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from a non-empty vector of values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from an empty vector");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.0.gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module tree.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests: each `fn` runs `cases` times with fresh
+/// deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..cfg.cases as u64 {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+}
+
+/// Assertion macros — plain `assert!` family; without shrinking the
+/// deterministic case index already reproduces failures.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $(::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1usize..10, (a, b) in (0u32..4, 0.0f64..1.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((0.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn oneof_map_select_vec(
+            v in prop::collection::vec(0usize..5, 0..8),
+            pick in prop::sample::select(vec![1, 2, 3]),
+            mapped in prop_oneof![Just(10usize), (0usize..3).prop_map(|x| x + 20)],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!([1, 2, 3].contains(&pick));
+            prop_assert!(mapped == 10usize || (20usize..23).contains(&mapped));
+            prop_assert!([true, false].contains(&flag));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let draw = |case| {
+            let mut rng = crate::test_runner::TestRng::for_case(case);
+            s.generate(&mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(1), draw(2));
+    }
+}

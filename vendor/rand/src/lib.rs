@@ -1,0 +1,250 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8-style API).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of `rand` entry points it actually uses:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable, non-cryptographic
+//!   generator (xoshiro256++ seeded through SplitMix64);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over integer and `f64` ranges (half-open and
+//!   inclusive);
+//! * [`Rng::gen_bool`].
+//!
+//! The *statistical* behaviour matches `rand` (uniform draws, negligible
+//! range bias via 128-bit multiply-shift reduction); the *exact bit
+//! streams* do not, which is fine for this workspace: every consumer only
+//! requires determinism for a fixed seed, which this crate guarantees.
+
+/// Low-level generator interface: a source of uniformly distributed
+/// 64-bit words.
+pub trait RngCore {
+    /// The next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniformly distributed `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface. Only the `seed_from_u64` constructor of the real
+/// trait is provided; the associated `Seed` type is omitted because no
+/// consumer names it.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling interface, blanket-implemented for every
+/// [`RngCore`] exactly as in `rand`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (panics if the range is empty).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (panics unless `0 <= p <= 1`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map a `u64` to `[0, 1)` with 53 bits of precision (the standard
+/// `rand` conversion).
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the same family the real `SmallRng` uses on 64-bit
+    /// targets. Not cryptographically secure; excellent for simulation.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro authors' guidance, so
+            // nearby seeds yield uncorrelated streams.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// A range that can produce a single uniform sample — the subset
+        /// of `rand`'s trait needed by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draw one sample (panics if the range is empty).
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! int_range {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as u64).wrapping_sub(self.start as u64);
+                        // 128-bit multiply-shift: unbiased enough for
+                        // simulation (bias < 2^-64), branch-free.
+                        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                        self.start.wrapping_add(hi as $t)
+                    }
+                }
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        if lo == <$t>::MIN && hi == <$t>::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                        let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                        lo.wrapping_add(draw as $t)
+                    }
+                }
+            )*};
+        }
+        int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleRange<f64> for core::ops::Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = crate::unit_f64(rng.next_u64());
+                let v = self.start + (self.end - self.start) * u;
+                // Guard against rounding up to the excluded endpoint.
+                if v < self.end {
+                    v
+                } else {
+                    self.start
+                }
+            }
+        }
+
+        impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = crate::unit_f64(rng.next_u64());
+                lo + (hi - lo) * u
+            }
+        }
+
+        impl SampleRange<f32> for core::ops::Range<f32> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = crate::unit_f64(rng.next_u64()) as f32;
+                let v = self.start + (self.end - self.start) * u;
+                if v < self.end {
+                    v
+                } else {
+                    self.start
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let av: Vec<usize> = (0..16).map(|_| a.gen_range(0..1_000_000)).collect();
+        let bv: Vec<usize> = (0..16).map(|_| b.gen_range(0..1_000_000)).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let v = r.gen_range(1..=4usize);
+            assert!((1..=4).contains(&v));
+            let f = r.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let f = r.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_is_constant() {
+        let mut r = SmallRng::seed_from_u64(3);
+        assert_eq!(r.gen_range(5..=5usize), 5);
+        assert_eq!(r.gen_range(0.25..=0.25), 0.25);
+    }
+
+    #[test]
+    fn integer_draws_cover_the_range() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}
