@@ -1,0 +1,102 @@
+//! `jobs_throughput` — online multi-job scheduling under an open-loop
+//! arrival stream.
+//!
+//! The paper evaluates one DAG at a time; this harness measures the
+//! regime a production deployment lives in: jobs arriving continuously,
+//! multiple DAGs in flight, contending for the cores and sharing the
+//! PTT. For each policy it reports completed jobs/second and the
+//! sojourn-time distribution (p50/p95/p99) — sojourn (arrival to last
+//! commit) is what a client of the system observes.
+//!
+//! Flags (all optional):
+//!
+//! * `--seed N`    RNG seed for arrivals, shapes and stealing (42)
+//! * `--jobs N`    jobs per stream (200; divided by `--scale`)
+//! * `--rate R`    mean arrival rate, jobs per simulated second (150)
+//! * `--burst N`   also run a bursty stream with bursts of N (4)
+//! * `--scale N`   divide the job count by N for quick runs (1)
+//!
+//! Deterministic: same flags, same output, bit for bit.
+
+use das_bench::scale_from_args;
+use das_core::jobs::StreamStats;
+use das_core::Policy;
+use das_sim::{cost::UniformCost, SimConfig, Simulator};
+use das_topology::Topology;
+use das_workloads::arrivals::{JobShape, StreamConfig};
+use std::sync::Arc;
+
+/// Parse `name <value>` from argv; integers stay integers (an f64
+/// round-trip would silently round seeds above 2^53).
+fn flag<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+fn run_stream(policy: Policy, seed: u64, stream: &StreamConfig) -> StreamStats {
+    let topo = Arc::new(Topology::tx2());
+    let mut sim = Simulator::new(
+        SimConfig::new(topo, policy)
+            .seed(seed)
+            .cost(Arc::new(UniformCost::new(1e-3))),
+    );
+    let jobs = stream.generate();
+    sim.run_stream(&jobs).expect("stream completes")
+}
+
+fn report(title: &str, seed: u64, policies: &[Policy], stream: &StreamConfig) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "policy", "jobs/s", "p50 sojourn", "p95 sojourn", "p99 sojourn", "p99 queue"
+    );
+    for &policy in policies {
+        let st = run_stream(policy, seed, stream);
+        println!(
+            "{:>8} {:>10.2} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            policy.name(),
+            st.jobs_per_sec(),
+            st.sojourn_percentile(0.50).unwrap_or(0.0),
+            st.sojourn_percentile(0.95).unwrap_or(0.0),
+            st.sojourn_percentile(0.99).unwrap_or(0.0),
+            st.queueing_percentile(0.99).unwrap_or(0.0),
+        );
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let seed: u64 = flag("--seed").unwrap_or(42);
+    let jobs = (flag::<usize>("--jobs").unwrap_or(200) / scale).max(8);
+    let rate: f64 = flag("--rate").unwrap_or(150.0);
+    let burst: usize = flag("--burst").unwrap_or(4);
+
+    let policies = [Policy::Rws, Policy::RwsmC, Policy::DamC, Policy::DamP];
+    let shape = JobShape::Mixed {
+        parallelism: 4,
+        layers: 6,
+    };
+
+    println!("jobs_throughput: {jobs} jobs, rate {rate}/s, seed {seed}");
+
+    let poisson = StreamConfig::poisson(seed, jobs, rate).shape(shape);
+    report(
+        &format!("Poisson arrivals ({rate}/s)"),
+        seed,
+        &policies,
+        &poisson,
+    );
+
+    let bursty = StreamConfig::bursty(seed, jobs, rate, burst).shape(shape);
+    report(
+        &format!("Bursty arrivals ({rate}/s, bursts of {burst})"),
+        seed,
+        &policies,
+        &bursty,
+    );
+}

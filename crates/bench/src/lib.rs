@@ -36,8 +36,10 @@ pub fn scale_from_args() -> usize {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--scale" {
-            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                return v;
+            if let Some(v) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                // Clamp like the env path: `--scale 0` means paper-sized,
+                // not a divide-by-zero in the harnesses.
+                return v.max(1);
             }
         }
     }

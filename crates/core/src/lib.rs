@@ -58,11 +58,13 @@
 //! sched.record(meta.ty, place, 1.25e-3);
 //! ```
 
+pub mod jobs;
 mod policy;
 mod ptt;
 mod queue;
 mod scheduler;
 
+pub use jobs::{JobClass, JobId, JobSpec, JobStats, StreamStats};
 pub use policy::Policy;
 pub use ptt::{Ptt, PttRegistry, PttSnapshot, WeightRatio};
 pub use queue::{QueueDiscipline, ReadyEntry, ReadyQueue};

@@ -208,7 +208,16 @@ impl Ptt {
     }
 
     /// Forcibly set an entry (tests, optimistic-init ablation).
+    ///
+    /// Applies the same sample guard as [`Ptt::update`]: non-finite,
+    /// negative and zero-cost values are rejected. A poisoned seed is
+    /// worse than a poisoned observation — it corrupts every subsequent
+    /// weighted average built on top of it (and a NaN seed would never
+    /// wash out, since `mix(NaN, x)` is NaN forever).
     pub fn seed(&self, core: CoreId, width: usize, seconds: f64) {
+        if !seconds.is_finite() || seconds <= 0.0 {
+            return;
+        }
         if let Some(i) = self.idx(core, width) {
             self.entries[i].store(seconds.to_bits(), Ordering::Relaxed);
         }
@@ -615,6 +624,22 @@ mod tests {
         ptt.update(p, -1.0);
         ptt.update(p, 0.0);
         assert_eq!(ptt.predict(CoreId(0), 1), Some(0.0));
+    }
+
+    #[test]
+    fn seed_applies_same_guard_as_update() {
+        let ptt = tx2_ptt();
+        ptt.seed(CoreId(0), 1, 2.0);
+        // Poisoned seeds must not displace the good value; before the
+        // guard, a NaN here corrupted every later weighted average.
+        ptt.seed(CoreId(0), 1, f64::NAN);
+        ptt.seed(CoreId(0), 1, f64::INFINITY);
+        ptt.seed(CoreId(0), 1, -3.0);
+        ptt.seed(CoreId(0), 1, 0.0);
+        assert_eq!(ptt.predict(CoreId(0), 1), Some(2.0));
+        let p = ptt.topology().place(CoreId(0), 1).unwrap();
+        ptt.update(p, 1.0);
+        assert!(ptt.predict(CoreId(0), 1).unwrap().is_finite());
     }
 
     #[test]

@@ -200,6 +200,24 @@ impl Dag {
         self.nodes[to.index()].num_preds += 1;
     }
 
+    /// Splice a copy of `other` into this DAG as an independent
+    /// component, returning the id offset of its first task (i.e.
+    /// `other`'s `TaskId(i)` becomes `TaskId(offset + i)` here). Used by
+    /// the job-stream executors to merge concurrently in-flight jobs
+    /// into one task space.
+    pub fn append(&mut self, other: &Dag) -> u32 {
+        let offset = u32::try_from(self.nodes.len()).expect("DAG larger than u32 tasks");
+        u32::try_from(self.nodes.len() + other.nodes.len()).expect("merged DAG exceeds u32 tasks");
+        self.nodes.extend(other.nodes.iter().map(|n| {
+            let mut n = n.clone();
+            for s in &mut n.succs {
+                *s = TaskId(s.0 + offset);
+            }
+            n
+        }));
+        offset
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -402,6 +420,24 @@ mod tests {
                 assert!(pos[&id] < pos[&s]);
             }
         }
+    }
+
+    #[test]
+    fn append_splices_independent_components() {
+        let mut a = fig1();
+        let b = fig1();
+        let offset = a.append(&b);
+        assert_eq!(offset, 10);
+        assert_eq!(a.len(), 20);
+        a.validate().unwrap();
+        // The two components are disjoint: both copies' roots present.
+        assert_eq!(a.roots(), vec![TaskId(0), TaskId(10)]);
+        // Edges were remapped, not shared.
+        assert_eq!(
+            a.node(TaskId(10)).succs,
+            vec![TaskId(11), TaskId(12), TaskId(13), TaskId(14)]
+        );
+        assert_eq!(a.num_high_priority(), 8);
     }
 
     #[test]

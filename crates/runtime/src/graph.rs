@@ -25,6 +25,12 @@ pub struct TaskCtx {
 pub type TaskFn = dyn Fn(&TaskCtx) + Send + Sync;
 
 /// A runnable DAG: shape (from `das-dag`) plus bodies.
+///
+/// Cloning is shallow and cheap: the shape is copied, the bodies are
+/// shared (`Arc` bumps). The persistent worker pool relies on this —
+/// [`crate::Runtime::run`] clones the borrowed graph into an owned
+/// [`crate::JobSpec`] for submission.
+#[derive(Clone)]
 pub struct TaskGraph {
     shape: Dag,
     bodies: Vec<Arc<TaskFn>>,

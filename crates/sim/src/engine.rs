@@ -7,6 +7,7 @@ use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
+use das_core::jobs::{JobId, JobSpec, JobStats, StreamStats};
 use das_core::{ReadyEntry, ReadyQueue, Scheduler, TaskTypeId};
 use das_dag::{Dag, DagError, TaskId};
 use das_topology::{CoreId, ExecutionPlace};
@@ -87,6 +88,8 @@ enum Ev {
     EnvChange,
     /// Task becomes ready after a release delay; `.1` is the waking core.
     Release(TaskId, usize),
+    /// Job `.0` of the current stream arrives: its roots wake up now.
+    JobArrive(usize),
 }
 
 struct HeapItem {
@@ -144,6 +147,21 @@ pub struct Simulator {
     now: f64,
     completed: usize,
     stats: RunStats,
+    /// Scratch for steal-victim collection, reused across attempts so
+    /// the hot steal path does not allocate per call.
+    victims_scratch: Vec<usize>,
+
+    // ---- job-stream state (empty in single-DAG runs) ----
+    /// Owning job index of each task in the merged stream task space.
+    job_of: Vec<usize>,
+    /// Roots of each job, offset into the merged task space.
+    job_roots: Vec<Vec<TaskId>>,
+    /// Uncommitted tasks per job.
+    job_remaining: Vec<usize>,
+    /// First execution start per job (NaN until a task runs).
+    job_started: Vec<f64>,
+    /// Completion time per job (NaN until the last task commits).
+    job_done_at: Vec<f64>,
 }
 
 impl Simulator {
@@ -173,6 +191,12 @@ impl Simulator {
             now: 0.0,
             completed: 0,
             stats: RunStats::default(),
+            victims_scratch: Vec::new(),
+            job_of: Vec::new(),
+            job_roots: Vec::new(),
+            job_remaining: Vec::new(),
+            job_started: Vec::new(),
+            job_done_at: Vec::new(),
             cfg,
         }
     }
@@ -234,12 +258,84 @@ impl Simulator {
     /// restarts at zero for each run; PTT state carries over.
     pub fn run(&mut self, dag: &Dag) -> Result<RunStats, SimError> {
         dag.validate().map_err(SimError::InvalidDag)?;
+        self.reset(dag.len());
+        if let Some(t) = self.env.next_change_after(0.0) {
+            self.push(t, Ev::EnvChange);
+        }
+        // The main thread (core 0) releases the roots, as in XiTAO.
+        for root in dag.roots() {
+            self.wakeup(dag, root, 0, 0.0);
+        }
+        self.drive(dag)?;
+        Ok(std::mem::take(&mut self.stats))
+    }
+
+    /// Execute an open-loop **job stream**: every job's roots become
+    /// ready at its [`JobSpec::arrival`] (an event in the simulation
+    /// heap), so jobs whose executions overlap share the cores, the
+    /// ready queues and the PTT — the multi-tenant regime the paper's
+    /// one-DAG-at-a-time evaluation never reaches. Returns per-job
+    /// completion stats ([`JobStats`]: queueing delay, makespan, sojourn)
+    /// aggregated into a [`StreamStats`].
+    ///
+    /// The simulated clock restarts at zero (stream start); PTT state
+    /// carries over from previous runs, as with [`Simulator::run`].
+    pub fn run_stream(&mut self, jobs: &[JobSpec<Dag>]) -> Result<StreamStats, SimError> {
+        if jobs.is_empty() {
+            return Ok(StreamStats::default());
+        }
+        let mut merged = Dag::new("job-stream");
+        let mut job_of = Vec::new();
+        let mut job_roots = Vec::with_capacity(jobs.len());
+        for (j, spec) in jobs.iter().enumerate() {
+            spec.graph.validate().map_err(SimError::InvalidDag)?;
+            let offset = merged.append(&spec.graph);
+            job_of.resize(merged.len(), j);
+            job_roots.push(
+                spec.graph
+                    .roots()
+                    .into_iter()
+                    .map(|r| TaskId(r.0 + offset))
+                    .collect(),
+            );
+        }
+        self.reset(merged.len());
+        self.job_of = job_of;
+        self.job_roots = job_roots;
+        self.job_remaining = jobs.iter().map(|s| s.graph.len()).collect();
+        self.job_started = vec![f64::NAN; jobs.len()];
+        self.job_done_at = vec![f64::NAN; jobs.len()];
+        if let Some(t) = self.env.next_change_after(0.0) {
+            self.push(t, Ev::EnvChange);
+        }
+        for (j, spec) in jobs.iter().enumerate() {
+            self.push(spec.arrival, Ev::JobArrive(j));
+        }
+        self.drive(&merged)?;
+        let per_job = jobs
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| JobStats {
+                id: JobId(j as u64),
+                class: spec.class,
+                arrival: spec.arrival,
+                started: self.job_started[j],
+                completed: self.job_done_at[j],
+                tasks: spec.graph.len(),
+                deadline: spec.deadline,
+            })
+            .collect();
+        Ok(StreamStats::from_jobs(per_job))
+    }
+
+    /// Clear all per-run state for a task space of `total` tasks.
+    fn reset(&mut self, total: usize) {
         let n_cores = self.cfg.topo.num_cores();
         self.cores = (0..n_cores).map(|_| CoreState::default()).collect();
-        self.assemblies = Vec::with_capacity(dag.len());
+        self.assemblies = Vec::with_capacity(total);
         self.running.clear();
         self.streams = vec![0; self.cfg.topo.num_clusters()];
-        self.preds = dag.nodes().iter().map(|n| n.num_preds).collect();
+        // `preds` is owned by `drive`, which rebuilds it from the dag.
         self.heap = BinaryHeap::new();
         self.seq = 0;
         self.now = 0.0;
@@ -250,15 +346,20 @@ impl Simulator {
             makespan: 0.0,
             num_cores: n_cores,
         };
+        self.job_of.clear();
+        self.job_roots.clear();
+        self.job_remaining.clear();
+        self.job_started.clear();
+        self.job_done_at.clear();
+    }
 
-        if let Some(t) = self.env.next_change_after(0.0) {
-            self.push(t, Ev::EnvChange);
-        }
-        // The main thread (core 0) releases the roots, as in XiTAO.
-        for root in dag.roots() {
-            self.wakeup(dag, root, 0, 0.0);
-        }
-
+    /// Pump the event loop until every task of `dag` commits (`Ok`) or
+    /// the heap drains / the event budget trips (`Err`). Predecessor
+    /// counters are (re)initialised here from the dag.
+    fn drive(&mut self, dag: &Dag) -> Result<(), SimError> {
+        let total = dag.len();
+        self.preds.clear();
+        self.preds.extend(dag.nodes().iter().map(|n| n.num_preds));
         let mut events: u64 = 0;
         while let Some(item) = self.heap.pop() {
             events += 1;
@@ -281,16 +382,24 @@ impl Simulator {
                     let t = self.now;
                     self.wakeup(dag, task, core, t);
                 }
+                Ev::JobArrive(j) => {
+                    let t = self.now;
+                    let roots = std::mem::take(&mut self.job_roots[j]);
+                    for &root in &roots {
+                        self.wakeup(dag, root, 0, t);
+                    }
+                    self.job_roots[j] = roots;
+                }
             }
-            if self.completed == dag.len() {
+            if self.completed == total {
                 self.stats.makespan = self.now;
                 self.trace.makespan = self.now;
-                return Ok(std::mem::take(&mut self.stats));
+                return Ok(());
             }
         }
         Err(SimError::Deadlock {
             completed: self.completed,
-            total: dag.len(),
+            total,
         })
     }
 
@@ -371,14 +480,24 @@ impl Simulator {
     fn try_steal(&mut self, dag: &Dag, thief: usize) -> Option<ReadyEntry<TaskId>> {
         let sched = Arc::clone(&self.sched);
         let eligible = |task: &TaskId| sched.may_run_on(&dag.node(*task).meta, CoreId(thief));
-        let victims: Vec<usize> = (0..self.cores.len())
-            .filter(|&v| v != thief && self.cores[v].wsq.can_steal(eligible))
-            .collect();
-        if victims.is_empty() {
-            return None;
-        }
-        let v = victims[self.rng.gen_range(0..victims.len())];
-        self.cores[v].wsq.steal(eligible)
+        // Reuse the engine-owned scratch buffer: steal attempts are the
+        // hottest idle-path operation and previously allocated a fresh
+        // Vec each time. The candidate set and the seeded RNG draw are
+        // unchanged, so the victim sequence is bit-identical (see
+        // `steal_order_unchanged_by_scratch_reuse` in
+        // tests/sim_determinism.rs).
+        let mut victims = std::mem::take(&mut self.victims_scratch);
+        victims.clear();
+        victims.extend(
+            (0..self.cores.len()).filter(|&v| v != thief && self.cores[v].wsq.can_steal(eligible)),
+        );
+        let choice = if victims.is_empty() {
+            None
+        } else {
+            Some(victims[self.rng.gen_range(0..victims.len())])
+        };
+        self.victims_scratch = victims;
+        self.cores[choice?].wsq.steal(eligible)
     }
 
     /// Dequeue-time decision (Fig. 3 steps 4–6): pick the final place and
@@ -428,7 +547,8 @@ impl Simulator {
         if a.joined == a.place.width {
             // Rendezvous complete: the moldable region runs at the
             // combined rate of its member cores.
-            let node = dag.node(a.task);
+            let task = a.task;
+            let node = dag.node(task);
             let work = self.cfg.cost.work(node.meta.ty) * node.work_scale;
             let (ty, place) = (a.ty, a.place);
             let cl = self.cfg.topo.cluster_of(place.first_core()).id.0;
@@ -447,6 +567,14 @@ impl Simulator {
             // A new stream changes the contention everyone else in the
             // cluster sees.
             self.replan_cluster(cl, Some(aid), t);
+            // Job-stream accounting: the job's queueing delay ends when
+            // its first assembly starts executing.
+            if !self.job_of.is_empty() {
+                let j = self.job_of[task.index()];
+                if self.job_started[j].is_nan() {
+                    self.job_started[j] = t;
+                }
+            }
         }
     }
 
@@ -529,6 +657,15 @@ impl Simulator {
         );
         self.stats.record_tag_event(node.tag, t);
         self.completed += 1;
+        // Job-stream accounting: the last committed task completes the
+        // job.
+        if !self.job_of.is_empty() {
+            let j = self.job_of[task.index()];
+            self.job_remaining[j] -= 1;
+            if self.job_remaining[j] == 0 {
+                self.job_done_at[j] = t;
+            }
+        }
 
         // The last completing core wakes the dependants (the whole place
         // finishes simultaneously in this model; wake-ups are charged to
@@ -909,6 +1046,109 @@ mod tests {
             st.makespan,
             crit_chain
         );
+    }
+
+    #[test]
+    fn job_stream_completes_every_job_with_consistent_accounting() {
+        use das_core::jobs::JobSpec;
+        let mut s = sim(Policy::DamC);
+        let jobs: Vec<JobSpec<das_dag::Dag>> = (0..6)
+            .map(|j| {
+                JobSpec::new(generators::layered(TaskTypeId(0), 2, 20))
+                    .at(j as f64 * 2e-3)
+                    .deadline(j as f64 * 2e-3 + 10.0)
+            })
+            .collect();
+        let st = s.run_stream(&jobs).unwrap();
+        assert_eq!(st.jobs.len(), 6);
+        assert_eq!(st.tasks, 6 * 40);
+        for (j, spec) in st.jobs.iter().zip(&jobs) {
+            assert_eq!(j.tasks, 40);
+            assert!((j.arrival - spec.arrival).abs() < 1e-15);
+            assert!(j.started >= j.arrival, "{j:?}");
+            assert!(j.completed > j.started, "{j:?}");
+            assert_eq!(j.deadline_met(), Some(true));
+        }
+        assert!(st.jobs_per_sec() > 0.0);
+        assert!(st.sojourn_percentile(0.5).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn job_stream_overlaps_jobs_under_pressure() {
+        // Arrivals far faster than the service rate: later jobs must
+        // queue (positive queueing delay) and jobs must overlap in time
+        // — the contention regime a single-DAG run cannot produce.
+        let mut s = sim(Policy::Rws);
+        let jobs: Vec<_> = (0..8)
+            .map(|j| {
+                das_core::jobs::JobSpec::new(generators::layered(TaskTypeId(0), 4, 25))
+                    .at(j as f64 * 1e-4)
+            })
+            .collect();
+        let st = s.run_stream(&jobs).unwrap();
+        let overlapping = st
+            .jobs
+            .iter()
+            .zip(st.jobs.iter().skip(1))
+            .any(|(a, b)| b.started < a.completed);
+        assert!(overlapping, "jobs never overlapped: {:?}", st.jobs);
+        let max_queue = st.queueing_percentile(1.0).unwrap();
+        assert!(max_queue > 0.0, "no job ever queued");
+        // Sojourn of the last job exceeds its bare makespan (it waited).
+        let last = st.jobs.last().unwrap();
+        assert!(last.sojourn() >= last.makespan());
+    }
+
+    #[test]
+    fn job_stream_is_deterministic() {
+        let mk = || {
+            let topo = Arc::new(Topology::tx2());
+            let mut s = Simulator::new(
+                SimConfig::new(topo, Policy::DamC)
+                    .seed(21)
+                    .cost(Arc::new(UniformCost::new(1e-3))),
+            );
+            let jobs: Vec<_> = (0..5)
+                .map(|j| {
+                    das_core::jobs::JobSpec::new(generators::fork_join(TaskTypeId(0), 3, 6))
+                        .at(j as f64 * 5e-4)
+                })
+                .collect();
+            s.run_stream(&jobs).unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn job_stream_single_run_state_isolated() {
+        // A stream run followed by a plain run must behave exactly like
+        // a fresh plain run (same PTT state): stream bookkeeping must
+        // not leak.
+        let dag = generators::layered(TaskTypeId(0), 4, 30);
+        let mut a = sim(Policy::Rws);
+        let jobs = vec![das_core::jobs::JobSpec::new(generators::chain(TaskTypeId(1), 5)).at(0.0)];
+        a.run_stream(&jobs).unwrap();
+        let mut b = sim(Policy::Rws);
+        b.run_stream(&jobs).unwrap();
+        let ra = a.run(&dag).unwrap();
+        let rb = b.run(&dag).unwrap();
+        assert_eq!(ra.makespan, rb.makespan);
+        assert_eq!(ra.steals, rb.steals);
+    }
+
+    #[test]
+    fn empty_job_stream_is_empty_stats() {
+        let mut s = sim(Policy::Rws);
+        let st = s.run_stream(&[]).unwrap();
+        assert_eq!(st.jobs.len(), 0);
+        assert_eq!(st.jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn job_stream_rejects_invalid_dag() {
+        let mut s = sim(Policy::Rws);
+        let jobs = vec![das_core::jobs::JobSpec::new(das_dag::Dag::new("empty"))];
+        assert!(matches!(s.run_stream(&jobs), Err(SimError::InvalidDag(_))));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   slow cluster, tile-size cache fits, memory saturation) match the
 //!   paper's qualitative behaviour.
 
+pub mod arrivals;
 pub mod cost;
 pub mod heat;
 pub mod kernels;

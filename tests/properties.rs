@@ -55,6 +55,41 @@ proptest! {
         prop_assert!((v - target).abs() < 1e-6 * target.max(1.0));
     }
 
+    /// Poisoned samples (non-finite, negative, zero) are rejected by
+    /// BOTH write paths — `update` and `seed` — so no sequence of bad
+    /// inputs can ever corrupt a trained entry. Regression for the
+    /// asymmetry where `seed` accepted what `update` rejected.
+    #[test]
+    fn ptt_write_paths_reject_poisoned_samples(
+        good in 1e-9f64..1e3,
+        bad in prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(0.0),
+            -1e3f64..=0.0,
+        ],
+        seed_first in any::<bool>(),
+    ) {
+        let topo = Arc::new(Topology::tx2());
+        let ptt = Ptt::new(Arc::clone(&topo), WeightRatio::PAPER);
+        let place = topo.place(CoreId(0), 1).unwrap();
+        if seed_first {
+            ptt.seed(CoreId(0), 1, good);
+        } else {
+            ptt.update(place, good);
+        }
+        prop_assert_eq!(ptt.predict(CoreId(0), 1), Some(good));
+        ptt.seed(CoreId(0), 1, bad);
+        prop_assert_eq!(ptt.predict(CoreId(0), 1), Some(good));
+        ptt.update(place, bad);
+        prop_assert_eq!(ptt.predict(CoreId(0), 1), Some(good));
+        // And a later good observation still trains normally.
+        ptt.update(place, good * 2.0);
+        let v = ptt.predict(CoreId(0), 1).unwrap();
+        prop_assert!(v.is_finite() && v > 0.0);
+    }
+
     /// `local_search` returns the width-1-or-better minimum of the
     /// parallel cost among the core's valid places (brute-force check).
     #[test]

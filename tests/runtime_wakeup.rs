@@ -1,0 +1,68 @@
+//! Regression tests for the runtime worker lost-wakeup window.
+//!
+//! Pre-fix, the worker loop scanned its queues, found nothing, and
+//! called `Condvar::wait_for` — with no synchronisation between the
+//! scan and the wait. A task pushed (and notified) inside that window
+//! found no waiter: the notification was lost and the worker slept the
+//! full park timeout (200 µs by default) before rediscovering the work
+//! by rescanning. The fix is the epoch-based `IdleParker`: producers
+//! bump a generation counter before notifying, and `park` refuses to
+//! sleep if the epoch moved since the pre-scan `prepare`.
+
+use das::core::{Policy, Priority, TaskTypeId};
+use das::runtime::{IdleParker, Runtime, TaskGraph};
+use das::topology::Topology;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The distilled lost-wakeup interleaving, made deterministic: work
+/// arrives (notify) after the idle worker's queue scan (prepare) but
+/// before it blocks (park). The pre-fix equivalent — a bare `wait_for`
+/// with no epoch token — sleeps the full timeout here; this test runs
+/// it with a 5-second timeout, so against the pre-fix loop it fails by
+/// timing out the latency bound.
+#[test]
+fn notify_in_the_scan_to_park_window_is_not_lost() {
+    let parker = IdleParker::new();
+    let token = parker.prepare();
+    // ... the worker scans its queues and finds nothing ...
+    parker.notify(); // a task is pushed exactly in the window
+    let t0 = Instant::now();
+    let woken = parker.park(token, Duration::from_secs(5));
+    let waited = t0.elapsed();
+    assert!(woken, "the epoch move must be reported as a wakeup");
+    assert!(
+        waited < Duration::from_millis(500),
+        "lost wakeup: parked {waited:?} despite a pending notification"
+    );
+}
+
+/// End-to-end idle-dispatch latency bound. The park timeout is raised
+/// to 2 s, so any lost wakeup turns into a ~2 s stall per job; with the
+/// epoch parker, jobs submitted to a fully idle pool dispatch promptly.
+/// 20 sequential one-task jobs must finish in far less than one park
+/// timeout in total.
+#[test]
+fn idle_dispatch_latency_is_bounded() {
+    let topo = Arc::new(Topology::symmetric(2));
+    let rt = Runtime::new(topo, Policy::Rws).park_timeout(Duration::from_secs(2));
+    // Warm the pool so worker-thread startup cost is not measured.
+    let mut warm = TaskGraph::new("warm");
+    warm.add(TaskTypeId(0), Priority::Low, |_| {});
+    rt.run(&warm).unwrap();
+
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        // Every submission lands on a fully idle (parked or about to
+        // park) pool: each one crosses the scan-to-park window.
+        let mut g = TaskGraph::new("tick");
+        g.add(TaskTypeId(0), Priority::Low, |_| {});
+        rt.run(&g).unwrap();
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "20 idle dispatches took {elapsed:?}; a lost wakeup would cost \
+         up to 2 s each"
+    );
+}

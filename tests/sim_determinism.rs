@@ -63,6 +63,37 @@ fn seed_only_affects_stealing_policies() {
 }
 
 #[test]
+fn steal_order_unchanged_by_scratch_reuse() {
+    // Golden values captured from the engine BEFORE `try_steal` started
+    // reusing an engine-owned scratch buffer instead of allocating a
+    // fresh victim Vec per attempt. The optimisation must not perturb
+    // the seeded victim sequence: steal counts and makespans stay
+    // bit-identical.
+    use das::sim::cost::UniformCost;
+    let run = |policy: Policy, seed: u64| {
+        let topo = Arc::new(Topology::tx2());
+        let mut s = Simulator::new(
+            SimConfig::new(Arc::clone(&topo), policy)
+                .seed(seed)
+                .cost(Arc::new(UniformCost::new(1e-3))),
+        );
+        let dag = generators::wavefront(TaskTypeId(0), 20);
+        s.run(&dag).expect("run completes")
+    };
+    let golden = [
+        (Policy::Rws, 1234u64, 53usize, 120usize, 0.05807350000000007),
+        (Policy::DamC, 99, 71, 82, 0.05707500000000008),
+        (Policy::RwsmC, 7, 72, 113, 0.05907350000000008),
+    ];
+    for (policy, seed, steals, failed, makespan) in golden {
+        let st = run(policy, seed);
+        assert_eq!(st.steals, steals, "{policy} seed={seed}");
+        assert_eq!(st.failed_steals, failed, "{policy} seed={seed}");
+        assert_eq!(st.makespan, makespan, "{policy} seed={seed}");
+    }
+}
+
+#[test]
 fn every_scenario_is_reproducible() {
     let topo = Arc::new(Topology::tx2());
     let n = Scenario::suite(&topo).len();
