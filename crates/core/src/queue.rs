@@ -145,6 +145,12 @@ impl<T> ReadyEntry<T> {
 pub struct ReadyQueue<T> {
     entries: VecDeque<ReadyEntry<T>>,
     discipline: QueueDiscipline,
+    /// Number of stealable entries currently queued. Lets the steal
+    /// path's victim scan reject an empty-handed queue in O(1) instead
+    /// of walking every entry — on a large machine the thief's
+    /// O(cores) victim collection is the hottest idle-path loop, and
+    /// most queues hold nothing stealable most of the time.
+    stealable: usize,
 }
 
 impl<T> Default for ReadyQueue<T> {
@@ -165,6 +171,7 @@ impl<T> ReadyQueue<T> {
         ReadyQueue {
             entries: VecDeque::new(),
             discipline,
+            stealable: 0,
         }
     }
 
@@ -183,38 +190,64 @@ impl<T> ReadyQueue<T> {
         self.entries.is_empty()
     }
 
+    /// Number of entries a thief could take (before eligibility
+    /// filtering). Maintained incrementally; O(1).
+    pub fn stealable_len(&self) -> usize {
+        self.stealable
+    }
+
     /// Enqueue at the owner's end.
     pub fn push(&mut self, entry: ReadyEntry<T>) {
+        if entry.stealable {
+            self.stealable += 1;
+        }
         self.entries.push_back(entry);
+    }
+
+    #[inline]
+    fn took(&mut self, entry: ReadyEntry<T>) -> ReadyEntry<T> {
+        if entry.stealable {
+            self.stealable -= 1;
+        }
+        entry
     }
 
     /// The owner's pop: unstealable entries first (oldest first), then
     /// the stealable backlog (newest first under XiTAO).
     pub fn pop_own(&mut self) -> Option<ReadyEntry<T>> {
-        if self.discipline.pinned_first {
+        if self.discipline.pinned_first && self.stealable < self.entries.len() {
             if let Some(i) = self.entries.iter().position(|e| !e.stealable) {
-                return self.entries.remove(i);
+                return self.entries.remove(i).map(|e| self.took(e));
             }
         }
-        if self.discipline.owner_lifo {
+        let e = if self.discipline.owner_lifo {
             self.entries.pop_back()
         } else {
             self.entries.pop_front()
-        }
+        };
+        e.map(|e| self.took(e))
     }
 
     /// Would a thief whose eligibility test is `eligible` get an entry
     /// from this queue? (Victim scans; does not disturb the queue.)
+    /// O(1) when nothing is stealable — the common case across a large
+    /// machine's queues.
     pub fn can_steal(&self, mut eligible: impl FnMut(&T) -> bool) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.stealable && eligible(&e.payload))
+        self.stealable > 0
+            && self
+                .entries
+                .iter()
+                .any(|e| e.stealable && eligible(&e.payload))
     }
 
     /// A thief's take: the oldest entry (under XiTAO) that is both
     /// stealable and `eligible` for the thief. Entries the thief may not
-    /// run (node affinity) are skipped without being reordered.
+    /// run (node affinity) are skipped without being reordered. O(1)
+    /// when nothing is stealable.
     pub fn steal(&mut self, mut eligible: impl FnMut(&T) -> bool) -> Option<ReadyEntry<T>> {
+        if self.stealable == 0 {
+            return None;
+        }
         let matches = |e: &ReadyEntry<T>| e.stealable && eligible(&e.payload);
         let idx = if self.discipline.thief_fifo {
             self.entries.iter().position(matches)
@@ -222,6 +255,7 @@ impl<T> ReadyQueue<T> {
             self.entries.iter().rposition(matches)
         };
         idx.and_then(|i| self.entries.remove(i))
+            .map(|e| self.took(e))
     }
 }
 
@@ -331,6 +365,33 @@ mod tests {
         let (payload, pinned) = eh.into_parts();
         assert_eq!(payload, 7);
         assert_eq!(pinned, dh.pinned);
+    }
+
+    #[test]
+    fn stealable_len_tracks_every_mutation() {
+        let topo = Topology::tx2();
+        let p = place(&topo);
+        let mut q = ReadyQueue::new();
+        assert_eq!(q.stealable_len(), 0);
+        assert!(!q.can_steal(|_| true), "empty queue is O(1) ineligible");
+        q.push(ReadyEntry::loose(0));
+        q.push(pinned_entry(10, p));
+        q.push(ReadyEntry::loose(1));
+        assert_eq!(q.stealable_len(), 2);
+        // Owner pops the pinned entry first: count untouched.
+        assert_eq!(*q.pop_own().unwrap().payload(), 10);
+        assert_eq!(q.stealable_len(), 2);
+        // A steal takes one stealable entry.
+        assert_eq!(*q.steal(|_| true).unwrap().payload(), 0);
+        assert_eq!(q.stealable_len(), 1);
+        // Owner pops the last stealable entry.
+        assert_eq!(*q.pop_own().unwrap().payload(), 1);
+        assert_eq!(q.stealable_len(), 0);
+        assert!(q.is_empty());
+        // Eligibility veto leaves the count alone.
+        q.push(ReadyEntry::loose(7));
+        assert!(q.steal(|_| false).is_none());
+        assert_eq!(q.stealable_len(), 1);
     }
 
     #[test]

@@ -81,7 +81,7 @@ use das_topology::{CoreId, ExecutionPlace, Topology};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -252,7 +252,7 @@ impl JobHandle {
                 self.job.done_cond.wait(&mut g);
             }
         };
-        self.pool.completed.lock().retain(|j| j.id != self.job.id);
+        self.pool.completed.lock().remove(self.job.id);
         if self.job.poisoned.load(Ordering::Acquire) {
             panic!("task body panicked in {}", self.job.id);
         }
@@ -266,18 +266,58 @@ impl JobHandle {
     }
 }
 
+/// Completion records awaiting collection, indexed by job id so a
+/// [`JobHandle::wait`] consumes its own record in O(1) (amortised)
+/// instead of the old O(jobs) `retain` scan under the lock.
+#[derive(Default)]
+struct CompletedLedger {
+    records: Vec<JobStats>,
+    /// `JobId -> position in records`; kept in lockstep across
+    /// `swap_remove`s.
+    index: HashMap<u64, usize>,
+}
+
+impl CompletedLedger {
+    fn push(&mut self, st: JobStats) {
+        self.index.insert(st.id.0, self.records.len());
+        self.records.push(st);
+    }
+
+    fn remove(&mut self, id: JobId) {
+        if let Some(i) = self.index.remove(&id.0) {
+            self.records.swap_remove(i);
+            if let Some(moved) = self.records.get(i) {
+                self.index.insert(moved.id.0, i);
+            }
+        }
+    }
+
+    /// Take every record, restoring completion order (`swap_remove`
+    /// perturbs it; completion times are on the monotone pool clock,
+    /// ties broken by id).
+    fn drain(&mut self) -> Vec<JobStats> {
+        self.index.clear();
+        let mut out = std::mem::take(&mut self.records);
+        out.sort_by(|a, b| a.completed.total_cmp(&b.completed).then(a.id.cmp(&b.id)));
+        out
+    }
+}
+
 /// State shared between the submitting thread(s) and the worker pool.
 struct PoolShared {
     sched: Arc<Scheduler>,
     queues: Vec<WorkerQ>,
     parker: IdleParker,
     shutdown: AtomicBool,
-    /// Outstanding (submitted, not yet completed) jobs; guarded count
-    /// so `drain` can wait on it.
-    active: Mutex<usize>,
+    /// Outstanding (submitted, not yet completed) jobs. Lock-free on
+    /// the submit/commit fast path; `drained` is only signalled on the
+    /// 1 -> 0 edge, under `drain_lock` so a waiter between its check
+    /// and its wait cannot miss the edge.
+    active: AtomicUsize,
+    drain_lock: Mutex<()>,
     drained: Condvar,
     /// Stats of completed jobs awaiting collection by `drain`.
-    completed: Mutex<Vec<JobStats>>,
+    completed: Mutex<CompletedLedger>,
     next_job: AtomicU64,
     /// Wall-clock zero of the pool's job clock.
     epoch: Instant,
@@ -292,13 +332,16 @@ impl PoolShared {
     fn wakeup(&self, job: &Arc<ActiveJob>, task: TaskId, waking_core: usize) {
         let meta = job.graph.shape().node(task).meta;
         let d = self.sched.on_wakeup(&meta, CoreId(waking_core));
-        self.queues[d.queue.0].wsq.lock().push(ReadyEntry::new(
+        // Build the entry (Arc bump included) before touching the
+        // queue: the lock window is exactly one VecDeque push.
+        let entry = ReadyEntry::new(
             JobTask {
                 job: Arc::clone(job),
                 task,
             },
             &d,
-        ));
+        );
+        self.queues[d.queue.0].wsq.lock().push(entry);
         self.parker.notify();
     }
 
@@ -314,7 +357,9 @@ impl PoolShared {
             pending: AtomicUsize::new(place.width),
         });
         for m in place.member_cores() {
-            self.queues[m.0].aq.lock().push_back(Arc::clone(&asm));
+            // Clone outside the lock; the window is one push_back.
+            let member_ref = Arc::clone(&asm);
+            self.queues[m.0].aq.lock().push_back(member_ref);
         }
         self.parker.notify();
     }
@@ -436,10 +481,20 @@ impl PoolShared {
         self.completed.lock().push(stats);
         *job.done.lock() = Some(JobOutcome { rt, stats });
         job.done_cond.notify_all();
-        let mut n = self.active.lock();
-        *n -= 1;
-        if *n == 0 {
+        // Lock-free decrement; the condvar is touched only on the
+        // 1 -> 0 edge. Taking `drain_lock` orders the notify against a
+        // drainer between its zero-check and its wait.
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(self.drain_lock.lock());
             self.drained.notify_all();
+        }
+    }
+
+    /// Block until no job is outstanding.
+    fn wait_drained(&self) {
+        let mut g = self.drain_lock.lock();
+        while self.active.load(Ordering::Acquire) > 0 {
+            self.drained.wait(&mut g);
         }
     }
 
@@ -531,9 +586,10 @@ impl Runtime {
             queues: (0..n).map(|_| WorkerQ::default()).collect(),
             parker: IdleParker::new(),
             shutdown: AtomicBool::new(false),
-            active: Mutex::new(0),
+            active: AtomicUsize::new(0),
+            drain_lock: Mutex::new(()),
             drained: Condvar::new(),
-            completed: Mutex::new(Vec::new()),
+            completed: Mutex::new(CompletedLedger::default()),
             next_job: AtomicU64::new(0),
             epoch: Instant::now(),
         });
@@ -624,10 +680,7 @@ impl Runtime {
             done_cond: Condvar::new(),
             graph: spec.graph,
         });
-        {
-            let mut n = self.shared.active.lock();
-            *n += 1;
-        }
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
         // The submitting thread plays the role of XiTAO's main thread
         // (core 0 context) releasing the roots.
         for root in job.graph.shape().roots() {
@@ -643,13 +696,8 @@ impl Runtime {
     /// clears) the completion records accumulated since the last drain,
     /// in completion order.
     pub fn drain(&self) -> Vec<JobStats> {
-        {
-            let mut n = self.shared.active.lock();
-            while *n > 0 {
-                self.shared.drained.wait(&mut n);
-            }
-        }
-        std::mem::take(&mut *self.shared.completed.lock())
+        self.shared.wait_drained();
+        self.shared.completed.lock().drain()
     }
 
     /// Execute `graph` to completion on the persistent pool and block
@@ -673,12 +721,7 @@ impl Drop for Runtime {
         // the job permanently incomplete and any `JobHandle::wait`
         // hanging. Workers guarantee liveness while running, so waiting
         // for the active count to reach zero terminates.
-        {
-            let mut n = self.shared.active.lock();
-            while *n > 0 {
-                self.shared.drained.wait(&mut n);
-            }
-        }
+        self.shared.wait_drained();
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.parker.notify();
         let handles: Vec<_> = self.handles.lock().drain(..).collect();
@@ -1011,6 +1054,55 @@ mod tests {
         let _h = runtime.submit(JobSpec::new(g.clone())).unwrap();
         runtime.run(&g).unwrap();
         assert_eq!(runtime.drain().len(), 1);
+    }
+
+    #[test]
+    fn wait_among_many_undrained_jobs_stays_correct() {
+        // Regression for the O(jobs) retain scan in `JobHandle::wait`:
+        // with many completed-but-undrained jobs in the ledger, each
+        // wait must still return its own job's outcome and consume
+        // exactly its own drain record — here exercised from the worst
+        // position (waiting in reverse completion order).
+        let runtime = rt(Policy::Rws, 2);
+        let handles: Vec<_> = (0..40)
+            .map(|_| {
+                let mut g = TaskGraph::new("u");
+                g.add(TaskTypeId(0), Priority::Low, |_| {});
+                runtime.submit(JobSpec::new(g)).unwrap()
+            })
+            .collect();
+        for (i, h) in handles.iter().enumerate().rev() {
+            let out = h.wait();
+            assert_eq!(out.stats.id, JobId(i as u64));
+            assert_eq!(out.rt.tasks, 1);
+        }
+        assert!(runtime.drain().is_empty(), "every record consumed");
+    }
+
+    #[test]
+    fn drain_returns_unwaited_records_in_completion_order() {
+        let runtime = rt(Policy::Rws, 2);
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let mut g = TaskGraph::new("o");
+                g.add(TaskTypeId(0), Priority::Low, |_| {});
+                runtime.submit(JobSpec::new(g)).unwrap()
+            })
+            .collect();
+        // Consume every third record by handle; the rest must drain in
+        // completion order despite the swap_removes in between.
+        for h in handles.iter().step_by(3) {
+            h.wait();
+        }
+        let drained = runtime.drain();
+        assert_eq!(drained.len(), 8);
+        for w in drained.windows(2) {
+            assert!(w[0].completed <= w[1].completed, "{w:?}");
+        }
+        let waited: Vec<u64> = handles.iter().step_by(3).map(|h| h.id().0).collect();
+        for j in &drained {
+            assert!(!waited.contains(&j.id.0), "waited record leaked: {j:?}");
+        }
     }
 
     #[test]

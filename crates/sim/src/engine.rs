@@ -137,7 +137,21 @@ pub struct Simulator {
     // ---- per-run state ----
     cores: Vec<CoreState>,
     assemblies: Vec<Assembly>,
+    /// Slots of `assemblies` whose occupant committed, available for
+    /// reuse by the next dispatch. Without this the vector grows by one
+    /// Assembly per task for the whole run — a stream of a million jobs
+    /// would hold a million dead assemblies.
+    free_assemblies: Vec<usize>,
     running: BTreeSet<usize>,
+    /// Cores currently idle (neither busy nor holding a pending poll),
+    /// ascending. A stealable wake-up polls exactly these cores — the
+    /// same set the old every-core broadcast reached after `wake_at`
+    /// filtered it, in the same order, so the event stream is
+    /// bit-identical at O(idle) instead of O(cores) per wake-up.
+    idle: BTreeSet<usize>,
+    /// Use the pre-idle-set broadcast wake-up path (O(cores) per
+    /// stealable wake-up). Differential-testing hook only.
+    broadcast_wakeups: bool,
     /// Number of running assemblies per cluster (independent streams
     /// contending for the cluster's cache/bandwidth).
     streams: Vec<usize>,
@@ -150,6 +164,12 @@ pub struct Simulator {
     /// Scratch for steal-victim collection, reused across attempts so
     /// the hot steal path does not allocate per call.
     victims_scratch: Vec<usize>,
+    /// Scratch for the idle-set snapshot taken by `wakeup` (wake-ups
+    /// mutate the set while it is being walked).
+    wake_scratch: Vec<usize>,
+    /// Scratch for the running-assembly snapshots taken by the replan
+    /// paths (`handle_env_change`, `replan_cluster`).
+    replan_scratch: Vec<usize>,
 
     // ---- job-stream state (empty in single-DAG runs) ----
     /// Owning job index of each task in the merged stream task space.
@@ -183,7 +203,10 @@ impl Simulator {
             trace: Trace::default(),
             cores: Vec::new(),
             assemblies: Vec::new(),
+            free_assemblies: Vec::new(),
             running: BTreeSet::new(),
+            idle: BTreeSet::new(),
+            broadcast_wakeups: false,
             streams: Vec::new(),
             preds: Vec::new(),
             heap: BinaryHeap::new(),
@@ -192,6 +215,8 @@ impl Simulator {
             completed: 0,
             stats: RunStats::default(),
             victims_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
+            replan_scratch: Vec::new(),
             job_of: Vec::new(),
             job_roots: Vec::new(),
             job_remaining: Vec::new(),
@@ -243,6 +268,15 @@ impl Simulator {
             "scheduler topology mismatch"
         );
         self.sched = sched;
+    }
+
+    /// Route stealable wake-ups through the pre-idle-set broadcast
+    /// (`wake_at` on every core) instead of the idle set. The two are
+    /// bit-identical by construction — this hook exists so the
+    /// differential tests can prove it (`tests/sched_fastpath.rs`), and
+    /// costs O(cores) per wake-up. Off by default.
+    pub fn set_broadcast_wakeups(&mut self, on: bool) {
+        self.broadcast_wakeups = on;
     }
 
     /// Drop all learned PTT state (fresh scheduler, same policy).
@@ -332,8 +366,13 @@ impl Simulator {
     fn reset(&mut self, total: usize) {
         let n_cores = self.cfg.topo.num_cores();
         self.cores = (0..n_cores).map(|_| CoreState::default()).collect();
-        self.assemblies = Vec::with_capacity(total);
+        // With slot recycling the live assembly count is bounded by the
+        // core count, not the task count.
+        self.assemblies = Vec::with_capacity(total.min(2 * n_cores));
+        self.free_assemblies.clear();
         self.running.clear();
+        // Every core starts neither busy nor poll-pending.
+        self.idle = (0..n_cores).collect();
         self.streams = vec![0; self.cfg.topo.num_clusters()];
         // `preds` is owned by `drive`, which rebuilds it from the dag.
         self.heap = BinaryHeap::new();
@@ -393,6 +432,7 @@ impl Simulator {
             }
             if self.completed == total {
                 self.stats.makespan = self.now;
+                self.stats.events = events;
                 self.trace.makespan = self.now;
                 return Ok(());
             }
@@ -420,6 +460,7 @@ impl Simulator {
         let st = &mut self.cores[core];
         if !st.busy && !st.poll_pending {
             st.poll_pending = true;
+            self.idle.remove(&core);
             self.push(t, Ev::Poll(core));
         }
     }
@@ -437,9 +478,23 @@ impl Simulator {
         self.wake_at(d.queue.0, t + wl);
         if migratable {
             // Idle cores may steal it: wake every sleeper. Woken cores
-            // that lose the race simply go back to sleep.
-            for c in 0..self.cores.len() {
-                self.wake_at(c, t + wl);
+            // that lose the race simply go back to sleep. Only members
+            // of the idle set can pass `wake_at`'s busy/poll-pending
+            // filter, so walking the set (ascending, like the old
+            // 0..cores broadcast) pushes the identical Poll events in
+            // the identical order at O(idle) per wake-up.
+            if self.broadcast_wakeups {
+                for c in 0..self.cores.len() {
+                    self.wake_at(c, t + wl);
+                }
+            } else {
+                let mut sleepers = std::mem::take(&mut self.wake_scratch);
+                sleepers.clear();
+                sleepers.extend(self.idle.iter().copied());
+                for c in sleepers.drain(..) {
+                    self.wake_at(c, t + wl);
+                }
+                self.wake_scratch = sleepers;
             }
         }
     }
@@ -472,6 +527,9 @@ impl Simulator {
         }
         self.stats.failed_steals += 1;
         // Nothing to do: sleep until woken by a push or a completion.
+        // (The other exits of this poll leave the core busy or
+        // poll-pending again; only this one idles it.)
+        self.idle.insert(c);
     }
 
     /// Steal scan: victims are cores whose WSQ would yield an entry to
@@ -506,8 +564,16 @@ impl Simulator {
         let (task, pinned) = entry.into_parts();
         let node = dag.node(task);
         let place = self.sched.on_dequeue(&node.meta, CoreId(core), pinned);
-        let aid = self.assemblies.len();
-        self.assemblies.push(Assembly {
+        // Reuse a committed slot when one is free; its generation
+        // continues from the dead occupant's, so any superseded Finish
+        // events still in the heap (gen <= the old occupant's) miss the
+        // `gen` check exactly as they did before recycling.
+        let next_gen = |a: &Assembly| a.gen + 1;
+        let (aid, gen) = match self.free_assemblies.pop() {
+            Some(slot) => (slot, next_gen(&self.assemblies[slot])),
+            None => (self.assemblies.len(), 0),
+        };
+        let asm = Assembly {
             task,
             ty: node.meta.ty,
             place,
@@ -519,9 +585,14 @@ impl Simulator {
             remaining: 0.0,
             rate: 0.0,
             last_t: 0.0,
-            gen: 0,
+            gen,
             done: false,
-        });
+        };
+        if aid == self.assemblies.len() {
+            self.assemblies.push(asm);
+        } else {
+            self.assemblies[aid] = asm;
+        }
         for m in place.member_cores() {
             self.cores[m.0].aq.push_back(aid);
             self.wake_at(m.0, t);
@@ -682,6 +753,9 @@ impl Simulator {
                 }
             }
         }
+        // The slot is dead (done, off the running set, dependants
+        // released): recycle it.
+        self.free_assemblies.push(aid);
     }
 
     /// Piecewise integration: at every environment change, bank the work
@@ -689,10 +763,17 @@ impl Simulator {
     /// the new rate.
     fn handle_env_change(&mut self) {
         let t = self.now;
-        let ids: Vec<usize> = self.running.iter().copied().collect();
-        for aid in ids {
+        // Snapshot the running set into the engine-owned scratch buffer
+        // (like the steal path's victim scratch): environment changes
+        // fire on every DVFS/interference edge and previously allocated
+        // a fresh Vec each time.
+        let mut ids = std::mem::take(&mut self.replan_scratch);
+        ids.clear();
+        ids.extend(self.running.iter().copied());
+        for aid in ids.drain(..) {
             self.replan(aid, t);
         }
+        self.replan_scratch = ids;
         if let Some(next) = self.env.next_change_after(t) {
             self.push(next, Ev::EnvChange);
         }
@@ -725,24 +806,22 @@ impl Simulator {
         if self.streams_sensitive_types_absent(cl) {
             return;
         }
-        let ids: Vec<usize> = self
-            .running
-            .iter()
-            .copied()
-            .filter(|&aid| {
-                Some(aid) != skip
-                    && self
-                        .cfg
-                        .topo
-                        .cluster_of(self.assemblies[aid].place.first_core())
-                        .id
-                        .0
-                        == cl
-            })
-            .collect();
-        for aid in ids {
+        let mut ids = std::mem::take(&mut self.replan_scratch);
+        ids.clear();
+        ids.extend(self.running.iter().copied().filter(|&aid| {
+            Some(aid) != skip
+                && self
+                    .cfg
+                    .topo
+                    .cluster_of(self.assemblies[aid].place.first_core())
+                    .id
+                    .0
+                    == cl
+        }));
+        for aid in ids.drain(..) {
             self.replan(aid, t);
         }
+        self.replan_scratch = ids;
     }
 
     /// Cheap short-circuit: if no running assembly in `cl` has a

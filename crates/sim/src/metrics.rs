@@ -35,6 +35,10 @@ pub struct RunStats {
     pub steals: usize,
     /// Steal attempts that found no victim.
     pub failed_steals: usize,
+    /// Discrete events the engine processed to complete the run — the
+    /// denominator of the `perf_gate` events/sec series (simulator
+    /// throughput is events per *wall* second, measured by the caller).
+    pub events: u64,
 }
 
 impl RunStats {

@@ -1,0 +1,201 @@
+//! The O(1) scheduling fast paths must be *refactorings*, not
+//! behaviour changes:
+//!
+//! * the aggregate-cached [`Ptt::estimate`] must equal the from-scratch
+//!   cluster rescan it replaced (property test over arbitrary
+//!   interleaved `update`/`seed` sequences);
+//! * the sim engine's idle-set wake-ups (plus the stealable-entry count
+//!   and assembly recycling that ride along) must produce bit-identical
+//!   traces and stats to the old every-core broadcast, which is kept
+//!   behind [`Simulator::set_broadcast_wakeups`] exactly for this test.
+
+use das::core::{Policy, Ptt, TaskTypeId, WeightRatio};
+use das::dag::generators;
+use das::sim::{cost::UniformCost, Environment, Modifier, SimConfig, Simulator};
+use das::topology::{CoreId, Topology};
+use das::workloads::arrivals::{JobShape, StreamConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// PTT aggregate cache vs from-scratch recomputation
+// ---------------------------------------------------------------------
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::tx2()),
+        Just(Topology::haswell_2x8()),
+        Just(Topology::haswell_2x10()),
+        Just(Topology::symmetric(5)),
+        (1usize..4, 1usize..6).prop_map(|(b, l)| Topology::big_little(b, l, 2.0)),
+    ]
+}
+
+/// One write against the table: seed or update, on any core and any
+/// width of the global axis (including widths invalid for the core's
+/// cluster — both paths must reject those identically), with values
+/// spanning the guard cases (non-finite, non-positive) too.
+fn arb_writes() -> impl Strategy<Value = Vec<(bool, usize, usize, f64)>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            0usize..64,
+            0usize..6,
+            prop_oneof![
+                1e-6f64..1e3,
+                Just(0.0),
+                Just(-1.0),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+            ],
+        ),
+        1..40,
+    )
+}
+
+/// `a` and `b` differ only by floating-point association order (the
+/// cache folds deltas in observation order, the rescan sums entries in
+/// core order). Under cancellation the drift is bounded by ULPs of the
+/// *largest intermediate* — e.g. a 1e3 seed overwritten by 1e-6 leaves
+/// the delta-folded sum at `fl(1e3 + fl(1e-6 - 1e3))`, off the exact
+/// 1e-6 by ~1e-13 absolute — so the tolerance must scale with the
+/// largest value ever written (`scale`), not with the results alone.
+fn approx_eq(a: f64, b: f64, scale: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cached_estimate_equals_from_scratch_recomputation(
+        topo in arb_topology(),
+        writes in arb_writes(),
+    ) {
+        let topo = Arc::new(topo);
+        let ptt = Ptt::new(Arc::clone(&topo), WeightRatio::PAPER);
+        let widths = topo.all_widths().to_vec();
+        let mut max_written = 1.0f64;
+        for &(is_seed, core, width_pick, value) in &writes {
+            let core = CoreId(core % topo.num_cores());
+            let width = widths[width_pick % widths.len()];
+            if value.is_finite() && value > 0.0 {
+                max_written = max_written.max(value);
+            }
+            if is_seed {
+                ptt.seed(core, width, value);
+            } else if let Some(place) = topo.place(core, width) {
+                ptt.update(place, value);
+            }
+        }
+        // Every slot of the table agrees with the reference, valid and
+        // unexplored alike.
+        for c in topo.cores() {
+            for &w in topo.all_widths() {
+                let cached = ptt.estimate(c, w);
+                let rescan = ptt.estimate_rescan(c, w);
+                match (cached, rescan) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => prop_assert!(
+                        approx_eq(a, b, max_written),
+                        "({c}, w={w}): cached {a} vs rescan {b}"
+                    ),
+                    _ => prop_assert!(false, "({c}, w={w}): validity differs"),
+                }
+            }
+        }
+        // And the search decisions built on it agree exactly.
+        for minimize_cost in [false, true] {
+            let a = ptt.global_search(minimize_cost, false, None);
+            let b = ptt.global_search_rescan(minimize_cost, false, None);
+            prop_assert_eq!((a.leader, a.width), (b.leader, b.width));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Idle-set wake-ups vs the every-core broadcast
+// ---------------------------------------------------------------------
+
+fn stream_sim(policy: Policy, topo: &Arc<Topology>, broadcast: bool, env: bool) -> Simulator {
+    let mut sim = Simulator::new(
+        SimConfig::new(Arc::clone(topo), policy)
+            .seed(0xda5_2026)
+            .cost(Arc::new(UniformCost::new(1e-3))),
+    );
+    sim.set_broadcast_wakeups(broadcast);
+    if env {
+        sim.set_env(
+            Environment::interference_free(Arc::clone(topo))
+                .and(Modifier::compute_corunner(CoreId(0))),
+        );
+    }
+    sim
+}
+
+#[test]
+fn idle_set_wakeups_match_broadcast_on_multi_job_streams() {
+    // Every policy, with and without interference: the idle-set engine
+    // must retire the same jobs with the same stats as the broadcast
+    // reference, bit for bit (StreamStats is all-f64 PartialEq).
+    let topo = Arc::new(Topology::tx2());
+    let jobs = StreamConfig::poisson(17, 24, 300.0)
+        .shape(JobShape::Mixed {
+            parallelism: 4,
+            layers: 5,
+        })
+        .generate();
+    for policy in Policy::ALL {
+        for env in [false, true] {
+            let a = stream_sim(policy, &topo, false, env)
+                .run_stream(&jobs)
+                .unwrap_or_else(|e| panic!("{policy} idle-set: {e}"));
+            let b = stream_sim(policy, &topo, true, env)
+                .run_stream(&jobs)
+                .unwrap_or_else(|e| panic!("{policy} broadcast: {e}"));
+            assert_eq!(a, b, "{policy} env={env}");
+        }
+    }
+}
+
+#[test]
+fn idle_set_wakeups_match_broadcast_traces_and_run_stats() {
+    // Single-DAG runs with tracing on: identical spans (core, start,
+    // end, task, place of every execution) prove the event streams are
+    // interchangeable, not just the aggregates.
+    let topo = Arc::new(Topology::tx2());
+    let dag = generators::layered(TaskTypeId(0), 4, 120);
+    for policy in Policy::ALL {
+        let mut a = stream_sim(policy, &topo, false, false);
+        let mut b = stream_sim(policy, &topo, true, false);
+        a.record_trace(true);
+        b.record_trace(true);
+        let ra = a.run(&dag).unwrap();
+        let rb = b.run(&dag).unwrap();
+        assert_eq!(ra, rb, "{policy} RunStats diverged");
+        let (ta, tb) = (a.take_trace(), b.take_trace());
+        assert_eq!(ta.spans, tb.spans, "{policy} traces diverged");
+        assert_eq!(ta.makespan, tb.makespan, "{policy}");
+    }
+}
+
+#[test]
+fn idle_set_wakeups_match_broadcast_on_wavefronts_across_seeds() {
+    // Wavefronts give the steal RNG real choices (many concurrent
+    // victims), so any perturbation of the Poll-event order would show
+    // up in the victim sequence. Sweep seeds to make that likely.
+    let topo = Arc::new(Topology::tx2());
+    let dag = generators::wavefront(TaskTypeId(0), 18);
+    for seed in [1u64, 7, 42, 99, 1234] {
+        let mk = |broadcast: bool| {
+            let mut sim = Simulator::new(
+                SimConfig::new(Arc::clone(&topo), Policy::DamC)
+                    .seed(seed)
+                    .cost(Arc::new(UniformCost::new(1e-3))),
+            );
+            sim.set_broadcast_wakeups(broadcast);
+            sim.run(&dag).unwrap()
+        };
+        assert_eq!(mk(false), mk(true), "seed {seed}");
+    }
+}
