@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use das_core::{Policy, Priority, Scheduler, TaskMeta, TaskTypeId};
-use das_runtime::{Runtime, TaskGraph};
+use das_runtime::{JobSpec, Runtime, TaskGraph};
 use das_topology::{CoreId, Topology};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -50,7 +50,8 @@ fn bench_end_to_end(c: &mut Criterion) {
                     }
                     prev = Some(id);
                 }
-                black_box(rt.run(&graph).unwrap());
+                let outcome = rt.submit(JobSpec::new(graph)).unwrap().wait();
+                black_box(outcome.rt);
             })
         });
     }

@@ -1,5 +1,6 @@
 //! `jobs_throughput` — online multi-job scheduling under an open-loop
-//! arrival stream.
+//! arrival stream, driven **exclusively through the backend-neutral
+//! executor contract** (`das_core::exec::Executor`).
 //!
 //! The paper evaluates one DAG at a time; this harness measures the
 //! regime a production deployment lives in: jobs arriving continuously,
@@ -7,6 +8,13 @@
 //! PTT. For each policy it reports completed jobs/second and the
 //! sojourn-time distribution (p50/p95/p99) — sojourn (arrival to last
 //! commit) is what a client of the system observes.
+//!
+//! Every stream goes through one generic driver over
+//! `&mut dyn Executor<Graph = G>`: the simulator executes the seeded
+//! arrival process in simulated time (bit-reproducibly), and the same
+//! stream — converted to no-op task graphs — runs on the threaded
+//! worker pool in wall-clock time, demonstrating that one client works
+//! against either backend.
 //!
 //! Flags (all optional):
 //!
@@ -16,12 +24,17 @@
 //! * `--burst N`   also run a bursty stream with bursts of N (4)
 //! * `--scale N`   divide the job count by N for quick runs (1)
 //!
-//! Deterministic: same flags, same output, bit for bit.
+//! The simulator sections are deterministic: same flags, same numbers,
+//! bit for bit. The threaded-runtime section is wall clock and varies
+//! with the host (job counts and stream structure stay fixed).
 
 use das_bench::scale_from_args;
-use das_core::jobs::StreamStats;
+use das_core::exec::{ExecReport, Executor, SessionBuilder};
+use das_core::jobs::JobSpec;
 use das_core::Policy;
-use das_sim::{cost::UniformCost, SimConfig, Simulator};
+use das_dag::Dag;
+use das_runtime::{Runtime, TaskGraph};
+use das_sim::Simulator;
 use das_topology::Topology;
 use das_workloads::arrivals::{JobShape, StreamConfig};
 use std::sync::Arc;
@@ -38,34 +51,49 @@ fn flag<T: std::str::FromStr>(name: &str) -> Option<T> {
     None
 }
 
-fn run_stream(policy: Policy, seed: u64, stream: &StreamConfig) -> StreamStats {
-    let topo = Arc::new(Topology::tx2());
-    let mut sim = Simulator::new(
-        SimConfig::new(topo, policy)
-            .seed(seed)
-            .cost(Arc::new(UniformCost::new(1e-3))),
-    );
-    let jobs = stream.generate();
-    sim.run_stream(&jobs).expect("stream completes")
+/// The one driver both backends go through: nothing here knows which
+/// executor it is talking to.
+fn run_via<G>(ex: &mut dyn Executor<Graph = G>, jobs: Vec<JobSpec<G>>) -> ExecReport {
+    ex.run_stream(jobs).expect("stream completes")
 }
 
-fn report(title: &str, seed: u64, policies: &[Policy], stream: &StreamConfig) {
+fn sim_executor(policy: Policy, seed: u64) -> Simulator {
+    Simulator::from_session(&SessionBuilder::new(Arc::new(Topology::tx2()), policy).seed(seed))
+}
+
+/// The same stream as a runtime workload: identical shapes, metadata
+/// and arrival plan, no-op bodies (the contract is about scheduling
+/// and accounting, not kernels).
+fn to_runtime_jobs(jobs: &[JobSpec<Dag>]) -> Vec<JobSpec<TaskGraph>> {
+    jobs.iter().map(TaskGraph::noop_job_from_dag).collect()
+}
+
+fn print_row(label: &str, report: &ExecReport) {
+    println!(
+        "{:>8} {:>10.2} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+        label,
+        report.jobs_per_sec(),
+        report.sojourn_percentile(0.50).unwrap_or(0.0),
+        report.sojourn_percentile(0.95).unwrap_or(0.0),
+        report.sojourn_percentile(0.99).unwrap_or(0.0),
+        report.queueing_percentile(0.99).unwrap_or(0.0),
+    );
+}
+
+fn header(title: &str) {
     println!("\n== {title} ==");
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "policy", "jobs/s", "p50 sojourn", "p95 sojourn", "p99 sojourn", "p99 queue"
     );
+}
+
+fn report_sim(title: &str, seed: u64, policies: &[Policy], jobs: &[JobSpec<Dag>]) {
+    header(title);
     for &policy in policies {
-        let st = run_stream(policy, seed, stream);
-        println!(
-            "{:>8} {:>10.2} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
-            policy.name(),
-            st.jobs_per_sec(),
-            st.sojourn_percentile(0.50).unwrap_or(0.0),
-            st.sojourn_percentile(0.95).unwrap_or(0.0),
-            st.sojourn_percentile(0.99).unwrap_or(0.0),
-            st.queueing_percentile(0.99).unwrap_or(0.0),
-        );
+        let mut sim = sim_executor(policy, seed);
+        let report = run_via(&mut sim, jobs.to_vec());
+        print_row(policy.name(), &report);
     }
 }
 
@@ -84,19 +112,41 @@ fn main() {
 
     println!("jobs_throughput: {jobs} jobs, rate {rate}/s, seed {seed}");
 
-    let poisson = StreamConfig::poisson(seed, jobs, rate).shape(shape);
-    report(
+    // Each stream is generated once (deterministically) and shared by
+    // every policy run and the runtime section below.
+    let poisson = StreamConfig::poisson(seed, jobs, rate)
+        .shape(shape)
+        .generate();
+    report_sim(
         &format!("Poisson arrivals ({rate}/s)"),
         seed,
         &policies,
         &poisson,
     );
 
-    let bursty = StreamConfig::bursty(seed, jobs, rate, burst).shape(shape);
-    report(
+    let bursty = StreamConfig::bursty(seed, jobs, rate, burst)
+        .shape(shape)
+        .generate();
+    report_sim(
         &format!("Bursty arrivals ({rate}/s, bursts of {burst})"),
         seed,
         &policies,
         &bursty,
     );
+
+    // The same Poisson stream's prefix through the other backend: real
+    // worker threads, wall-clock time, no-op bodies. Job counts are
+    // capped so the smoke run stays quick; times here vary with the
+    // host.
+    let rt_jobs = to_runtime_jobs(&poisson[..jobs.min(64)]);
+    header("threaded runtime, same stream (wall clock)");
+    for &policy in &policies {
+        let mut rt = Runtime::from_session(&SessionBuilder::new(
+            Arc::new(Topology::symmetric(4)),
+            policy,
+        ));
+        let report = run_via(&mut rt, rt_jobs.clone());
+        assert_eq!(report.jobs.jobs.len(), rt_jobs.len());
+        print_row(policy.name(), &report);
+    }
 }

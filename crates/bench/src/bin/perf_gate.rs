@@ -10,8 +10,9 @@
 //! * **sim events/sec** — discrete events the engine retires per wall
 //!   second on a 64-core grid (idle-set wake-ups, steal-count index,
 //!   assembly recycling all land here);
-//! * **stream jobs/sec** — wall-clock throughput of `run_stream` on an
-//!   open-loop Poisson stream (the multi-job regime of PR 2);
+//! * **stream jobs/sec** — wall-clock throughput of the executor
+//!   session (`submit` + `drain`) on an open-loop Poisson stream (the
+//!   multi-job regime of PR 2 behind the PR 4 façade);
 //! * **runtime tasks/sec** — tasks committed per wall second by the
 //!   threaded worker pool (atomic active counter, short lock windows);
 //! * **ptt search ns/op** — one `global_search` decision on 64- and
@@ -92,8 +93,14 @@ fn stream_jobs_per_sec(scale: usize) -> (usize, f64) {
         })
         .generate();
     let n = jobs.len();
+    // The incremental session path (submit + drain) — the same merged
+    // event batch the old pre-merged `run_stream` executed, now through
+    // the executor contract every client uses.
     let t0 = Instant::now();
-    let st = sim.run_stream(&jobs).expect("perf-gate stream completes");
+    for spec in jobs {
+        sim.submit(spec).expect("perf-gate job validates");
+    }
+    let st = sim.drain().expect("perf-gate stream completes");
     assert_eq!(st.jobs.len(), n);
     (n, t0.elapsed().as_secs_f64())
 }
@@ -106,7 +113,7 @@ fn runtime_tasks_per_sec(scale: usize) -> (usize, f64) {
     // Warm the pool so thread spawning is not billed to the first job.
     let mut warm = TaskGraph::new("warm");
     warm.add(TaskTypeId(0), Priority::Low, |_| {});
-    rt.run(&warm).expect("warmup runs");
+    rt.submit(JobSpec::new(warm)).expect("warmup runs").wait();
     let t0 = Instant::now();
     for _ in 0..jobs {
         let mut g = TaskGraph::new("gate");

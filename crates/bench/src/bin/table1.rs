@@ -1,6 +1,12 @@
-//! Table 1: features summary of all evaluated schedulers.
+//! Table 1: features summary of all evaluated schedulers — plus the
+//! executor backends any of them can be driven on.
 
+use das_core::exec::{Executor, SessionBuilder};
 use das_core::Policy;
+use das_runtime::Runtime;
+use das_sim::Simulator;
+use das_topology::Topology;
+use std::sync::Arc;
 
 fn main() {
     println!("Table 1. Features summary of all evaluated schedulers");
@@ -17,4 +23,15 @@ fn main() {
             p.priority_placement(),
         );
     }
+
+    // Every policy above runs unchanged on either side of the executor
+    // contract: one SessionBuilder, two backends.
+    let session = SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC);
+    let sim = Simulator::from_session(&session);
+    let rt = Runtime::from_session(&session);
+    println!(
+        "\nExecutor backends (das_core::exec::Executor): {} (simulated clock), {} (wall clock)",
+        Executor::backend(&sim),
+        Executor::backend(&rt),
+    );
 }

@@ -58,12 +58,14 @@
 //! sched.record(meta.ty, place, 1.25e-3);
 //! ```
 
+pub mod exec;
 pub mod jobs;
 mod policy;
 mod ptt;
 mod queue;
 mod scheduler;
 
+pub use exec::{ExecError, ExecExtras, ExecReport, Executor, SessionBuilder, Ticket};
 pub use jobs::{JobClass, JobId, JobSpec, JobStats, StreamStats};
 pub use policy::Policy;
 pub use ptt::{Ptt, PttRegistry, PttSnapshot, WeightRatio};

@@ -1,5 +1,6 @@
 //! Executable task graphs: DAG shape + one closure per task.
 
+use das_core::jobs::JobSpec;
 use das_core::{Priority, TaskMeta, TaskTypeId};
 use das_dag::{Dag, DagError, TaskId};
 use das_topology::{CoreId, ExecutionPlace};
@@ -66,6 +67,39 @@ impl TaskGraph {
     /// Declare a dependency: `to` runs only after `from` commits.
     pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
         self.shape.add_edge(from, to);
+    }
+
+    /// A graph with the same shape and task metadata as `dag` and no-op
+    /// bodies. This is how differential harnesses feed the *same*
+    /// seeded job stream to both executor backends: the simulator
+    /// executes the `Dag` against its cost model, the runtime executes
+    /// this conversion — identical scheduling inputs, no kernels.
+    pub fn noop_from_dag(dag: &Dag) -> Self {
+        let mut g = TaskGraph::new(dag.name());
+        for (_, node) in dag.iter() {
+            g.add_meta(node.meta, |_| {});
+        }
+        for (id, node) in dag.iter() {
+            for &s in &node.succs {
+                g.add_edge(id, s);
+            }
+        }
+        g
+    }
+
+    /// [`TaskGraph::noop_from_dag`] lifted to a whole job: the graph is
+    /// converted and the spec's arrival, class and deadline carry over
+    /// unchanged — so a simulator stream and its runtime counterpart
+    /// cannot drift in anything but the bodies.
+    pub fn noop_job_from_dag(spec: &JobSpec<Dag>) -> JobSpec<TaskGraph> {
+        let mut converted = JobSpec::new(TaskGraph::noop_from_dag(&spec.graph)).class(spec.class);
+        // `at` validates; arrivals from an existing spec are already
+        // valid, but route through the builder for one code path.
+        converted = converted.at(spec.arrival);
+        if let Some(d) = spec.deadline {
+            converted = converted.deadline(d);
+        }
+        converted
     }
 
     /// The DAG shape (read-only).

@@ -25,10 +25,11 @@
 //! [`Runtime::submit`] enqueues a [`JobSpec`] and returns a
 //! [`JobHandle`] immediately; concurrently submitted jobs share the
 //! per-worker queues and the scheduler's PTT, exactly like the
-//! simulator's `run_stream`. [`Runtime::drain`] blocks until every
-//! outstanding job has committed its last task. [`Runtime::run`] is the
-//! one-shot convenience wrapper (submit one job, wait for it) — it no
-//! longer spawns threads per call.
+//! simulator's job streams. [`Runtime::drain`] blocks until every
+//! outstanding job has committed its last task. The runtime also
+//! implements the backend-neutral [`das_core::exec::Executor`]
+//! contract, so harnesses written against `&mut dyn Executor` drive it
+//! and the simulator identically.
 //!
 //! The runtime is *functionally* faithful on any host. Whether it also
 //! exhibits the paper's performance effects depends on the physical
@@ -37,13 +38,14 @@
 //!
 //! ```
 //! use das_runtime::{Runtime, TaskGraph, JobSpec};
+//! use das_core::exec::Executor;
 //! use das_core::{Policy, Priority, TaskTypeId};
 //! use das_topology::Topology;
 //! use std::sync::Arc;
 //! use std::sync::atomic::{AtomicUsize, Ordering};
 //!
 //! let topo = Arc::new(Topology::symmetric(2));
-//! let rt = Runtime::new(topo, Policy::DamC);
+//! let mut rt = Runtime::new(topo, Policy::DamC);
 //! let hits = Arc::new(AtomicUsize::new(0));
 //! let mut g = TaskGraph::new("demo");
 //! // Moldable bodies run once per participating rank — partition work by
@@ -57,11 +59,12 @@
 //!     if ctx.rank == 0 { h.fetch_add(1, Ordering::Relaxed); }
 //! });
 //! g.add_edge(a, b);
-//! // One-shot path:
-//! let stats = rt.run(&g).unwrap();
-//! assert_eq!(stats.tasks, 2);
-//! // Stream path: submit returns a handle, the pool keeps running.
-//! let handle = rt.submit(JobSpec::new(g.clone())).unwrap();
+//! // Backend-neutral one-shot through the executor façade:
+//! let report = rt.run_dag(g.clone()).unwrap();
+//! assert_eq!(report.tasks(), 2);
+//! // Backend-specific stream path: submit returns a handle with the
+//! // runtime's detailed RtStats.
+//! let handle = rt.submit(JobSpec::new(g)).unwrap();
 //! let outcome = handle.wait();
 //! assert_eq!(outcome.rt.tasks, 2);
 //! assert!(outcome.stats.sojourn() >= outcome.stats.makespan());
@@ -75,7 +78,8 @@ pub use das_core::jobs::{JobClass, JobId, JobSpec, JobStats, StreamStats};
 pub use graph::{TaskCtx, TaskFn, TaskGraph};
 pub use stats::{PlaceKey, RtStats};
 
-use das_core::{Policy, ReadyEntry, ReadyQueue, Scheduler};
+use das_core::exec::{session_tag, ExecError, ExecExtras, Executor, SessionBuilder, Ticket};
+use das_core::{Policy, QueueDiscipline, ReadyEntry, ReadyQueue, Scheduler};
 use das_dag::{DagError, TaskId};
 use das_topology::{CoreId, ExecutionPlace, Topology};
 use parking_lot::{Condvar, Mutex};
@@ -170,13 +174,21 @@ struct JobTask {
     task: TaskId,
 }
 
-#[derive(Default)]
 struct WorkerQ {
     /// The shared `das-core` ready-queue discipline behind a lock: every
     /// pop/steal ordering decision is delegated to it, so worker threads
     /// behave exactly like the simulator's modelled cores.
     wsq: Mutex<ReadyQueue<JobTask>>,
     aq: Mutex<VecDeque<Arc<Assembly>>>,
+}
+
+impl WorkerQ {
+    fn new(discipline: QueueDiscipline) -> Self {
+        WorkerQ {
+            wsq: Mutex::new(ReadyQueue::with_discipline(discipline)),
+            aq: Mutex::new(VecDeque::new()),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -568,6 +580,14 @@ pub struct Runtime {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     seed: u64,
     park_timeout: Duration,
+    /// Handles of jobs submitted through the [`Executor`] façade,
+    /// redeemable by ticket; cleared by `Executor::drain`.
+    exec_tickets: HashMap<u64, JobHandle>,
+    /// Backend counters accumulated for [`Executor::take_extras`].
+    exec_extras: ExecExtras,
+    /// This executor instance's [`session_tag`]: stamped into every
+    /// ticket, checked on redemption.
+    exec_session: u64,
 }
 
 impl Runtime {
@@ -579,11 +599,29 @@ impl Runtime {
 
     /// Runtime around an existing scheduler (shared PTT state).
     pub fn with_scheduler(sched: Arc<Scheduler>) -> Self {
+        Runtime::build(sched, QueueDiscipline::XITAO)
+    }
+
+    /// Build a runtime from the backend-neutral [`SessionBuilder`]: the
+    /// scheduler (policy, ratio, sampled search, exploration, the steal
+    /// ablation), the queue discipline, the steal-RNG seed and the
+    /// idle-park timeout all take effect. The worker count is the
+    /// session topology's core count (one OS thread per modelled core).
+    pub fn from_session(session: &SessionBuilder) -> Self {
+        let mut rt =
+            Runtime::build(Arc::new(session.scheduler()), session.discipline).seed(session.seed);
+        if let Some(timeout) = session.park_timeout {
+            rt = rt.park_timeout(timeout);
+        }
+        rt
+    }
+
+    fn build(sched: Arc<Scheduler>, discipline: QueueDiscipline) -> Self {
         let topo = Arc::clone(sched.topology());
         let n = topo.num_cores();
         let shared = Arc::new(PoolShared {
             sched: Arc::clone(&sched),
-            queues: (0..n).map(|_| WorkerQ::default()).collect(),
+            queues: (0..n).map(|_| WorkerQ::new(discipline)).collect(),
             parker: IdleParker::new(),
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -598,8 +636,14 @@ impl Runtime {
             sched,
             shared,
             handles: Mutex::new(Vec::new()),
-            seed: 0xda5,
+            // One default steal-RNG seed across construction paths:
+            // Runtime::new, from_session and the sim all start from the
+            // SessionBuilder/SimConfig default.
+            seed: 0x5eed,
             park_timeout: PARK_TIMEOUT,
+            exec_tickets: HashMap::new(),
+            exec_extras: ExecExtras::default(),
+            exec_session: session_tag(),
         }
     }
 
@@ -611,7 +655,7 @@ impl Runtime {
     }
 
     /// Override the idle-park timeout (tests; the default is
-    /// [`PARK_TIMEOUT`], 10 ms). Takes effect at pool start — call
+    /// `PARK_TIMEOUT`, 10 ms). Takes effect at pool start — call
     /// before the first submission.
     pub fn park_timeout(mut self, timeout: Duration) -> Self {
         self.park_timeout = timeout;
@@ -701,14 +745,75 @@ impl Runtime {
     }
 
     /// Execute `graph` to completion on the persistent pool and block
-    /// until its last task commits. Equivalent to `submit` + `wait`;
-    /// kept for one-shot callers and the existing experiments.
+    /// until its last task commits. Deprecated shim: equivalent to
+    /// `submit(JobSpec::new(graph.clone()))?.wait().rt`, or — backend
+    /// neutrally — to [`Executor::run_dag`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the das_core::exec::Executor façade (run_dag) or submit(..)?.wait().rt"
+    )]
     pub fn run(&self, graph: &TaskGraph) -> Result<RtStats, DagError> {
         let handle = self.submit(JobSpec::new(graph.clone()))?;
         // `wait` consumes the job's drain record, so run()-only callers
         // (iterative applications issuing thousands of runs) do not
         // accumulate one JobStats per run forever.
         Ok(handle.wait().rt)
+    }
+}
+
+/// The backend-neutral executor contract over the threaded worker
+/// pool. `submit` maps onto the pool's native submission (the job
+/// starts immediately — the spec's `arrival` stays advisory, exactly
+/// as with [`Runtime::submit`]); `wait` redeems a ticket through the
+/// job's [`JobHandle`]; `drain` collects everything not individually
+/// waited. Timestamps are wall-clock seconds since pool creation.
+///
+/// # Panics
+/// [`Executor::wait`] re-raises a task-body panic of the waited job
+/// (like [`JobHandle::wait`]); `drain` does not.
+impl Executor for Runtime {
+    type Graph = TaskGraph;
+
+    fn backend(&self) -> &'static str {
+        "das-runtime"
+    }
+
+    fn submit(&mut self, spec: JobSpec<TaskGraph>) -> Result<Ticket, ExecError> {
+        let handle = Runtime::submit(self, spec).map_err(|e| ExecError::Rejected(e.to_string()))?;
+        let id = handle.id();
+        self.exec_tickets.insert(id.0, handle);
+        Ok(Ticket::new(self.exec_session, id))
+    }
+
+    fn wait(&mut self, ticket: Ticket) -> Result<JobStats, ExecError> {
+        let id = ticket.job();
+        if ticket.session() != self.exec_session {
+            return Err(ExecError::UnknownTicket(id));
+        }
+        let handle = self
+            .exec_tickets
+            .remove(&id.0)
+            .ok_or(ExecError::UnknownTicket(id))?;
+        let outcome = handle.wait();
+        *self.exec_extras.steals.get_or_insert(0) += outcome.rt.steals as u64;
+        Ok(outcome.stats)
+    }
+
+    fn drain(&mut self) -> Result<StreamStats, ExecError> {
+        let records = Runtime::drain(self);
+        // Every outstanding job is complete after the pool drain; bank
+        // the leftover (un-waited) tickets' steal counts straight from
+        // the per-job counters — no JobOutcome clone — and retire the
+        // handles.
+        for (_, handle) in self.exec_tickets.drain() {
+            *self.exec_extras.steals.get_or_insert(0) +=
+                handle.job.steals.load(Ordering::Relaxed) as u64;
+        }
+        Ok(StreamStats::from_jobs(records))
+    }
+
+    fn take_extras(&mut self) -> ExecExtras {
+        std::mem::take(&mut self.exec_extras)
     }
 }
 
@@ -741,6 +846,14 @@ mod tests {
         Runtime::new(Arc::new(Topology::symmetric(cores)), policy)
     }
 
+    /// submit + wait shorthand — what the deprecated `run` shim does.
+    fn run(rt: &Runtime, g: &TaskGraph) -> RtStats {
+        rt.submit(JobSpec::new(g.clone()))
+            .expect("valid graph")
+            .wait()
+            .rt
+    }
+
     #[test]
     fn all_tasks_execute_exactly_once() {
         let runtime = rt(Policy::Rws, 4);
@@ -757,7 +870,7 @@ mod tests {
             }
             prev = Some(id);
         }
-        let st = runtime.run(&g).unwrap();
+        let st = run(&runtime, &g);
         assert_eq!(st.tasks, 200);
         assert_eq!(count.load(Ordering::Relaxed), 200);
     }
@@ -797,7 +910,7 @@ mod tests {
             g.add_edge(a, b2);
             g.add_edge(b1, d);
             g.add_edge(b2, d);
-            runtime.run(&g).unwrap();
+            run(&runtime, &g);
             assert_eq!(seen.load(Ordering::SeqCst), 43, "{policy}");
         }
     }
@@ -820,7 +933,7 @@ mod tests {
         g.add(TaskTypeId(0), Priority::Low, move |ctx| {
             r.lock().push((ctx.rank, ctx.width));
         });
-        runtime.run(&g).unwrap();
+        run(&runtime, &g);
         let mut got = ranks.lock().clone();
         got.sort_unstable();
         assert_eq!(got, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
@@ -833,7 +946,7 @@ mod tests {
         g.add(TaskTypeId(3), Priority::Low, |_| {
             std::thread::sleep(Duration::from_millis(2));
         });
-        runtime.run(&g).unwrap();
+        run(&runtime, &g);
         let ptt = runtime.scheduler().ptts().table(TaskTypeId(3));
         let snap = ptt.snapshot();
         let trained: f64 = snap.rows.iter().flatten().filter(|v| v.is_finite()).sum();
@@ -854,7 +967,7 @@ mod tests {
             let t = g.add(TaskTypeId(0), prio, |_| {});
             g.add_edge(root, t);
         }
-        let st = runtime.run(&g).unwrap();
+        let st = run(&runtime, &g);
         let all: usize = st.all_places.values().sum();
         let high: usize = st.high_priority_places.values().sum();
         assert_eq!(all, 51);
@@ -885,17 +998,21 @@ mod tests {
                 s.store(ctx.core.0, Ordering::SeqCst);
             },
         );
-        runtime.run(&g).unwrap();
+        run(&runtime, &g);
         let core = seen_core.load(Ordering::SeqCst);
         assert!(core >= 2, "affinity-1 task ran on core {core}");
     }
 
     #[test]
     fn empty_graph_is_an_error() {
-        let runtime = rt(Policy::Rws, 2);
+        let mut runtime = rt(Policy::Rws, 2);
         let g = TaskGraph::new("empty");
-        assert!(runtime.run(&g).is_err());
-        assert!(runtime.submit(JobSpec::new(g)).is_err());
+        assert!(runtime.submit(JobSpec::new(g.clone())).is_err());
+        // The facade maps the rejection onto the backend-neutral error.
+        assert!(matches!(
+            Executor::submit(&mut runtime, JobSpec::new(g)),
+            Err(ExecError::Rejected(_))
+        ));
     }
 
     #[test]
@@ -903,9 +1020,9 @@ mod tests {
         let runtime = rt(Policy::DamC, 2);
         let mut g = TaskGraph::new("p");
         g.add(TaskTypeId(0), Priority::Low, |_| {});
-        runtime.run(&g).unwrap();
+        run(&runtime, &g);
         let before = runtime.scheduler().ptts().len();
-        runtime.run(&g).unwrap();
+        run(&runtime, &g);
         assert_eq!(runtime.scheduler().ptts().len(), before);
     }
 
@@ -925,7 +1042,7 @@ mod tests {
         // run guarantees both workers are up and parked.
         let mut warm = TaskGraph::new("warmup");
         warm.add(TaskTypeId(0), Priority::Low, |_| {});
-        runtime.run(&warm).unwrap();
+        run(&runtime, &warm);
         // Pre-train the PTT so every search prefers width 1: otherwise
         // exploration molds the low tasks to width 2 and their
         // assemblies legitimately clog both cores' AQs (AQ before WSQ
@@ -962,7 +1079,7 @@ mod tests {
             });
             g.add_edge(root, t);
         }
-        let st = runtime.run(&g).unwrap();
+        let st = run(&runtime, &g);
         let seq = order.lock().clone();
         assert_eq!(seq.len(), 7);
         // The critical task must not be the last thing to run: the
@@ -995,7 +1112,7 @@ mod tests {
             });
             g.add_edge(root, t);
         }
-        let st = runtime.run(&g).unwrap();
+        let st = run(&runtime, &g);
         assert_eq!(count.load(Ordering::Relaxed), 64);
         assert!(st.steals > 0, "stealing must occur on a fan-out");
     }
@@ -1038,6 +1155,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the legacy `run` shim itself
     fn run_consumes_its_own_drain_record() {
         // run() users never call drain(); their records must not
         // accumulate in the drain buffer forever.
@@ -1124,7 +1242,7 @@ mod tests {
         good.add(TaskTypeId(0), Priority::Low, move |_| {
             c.fetch_add(1, Ordering::Relaxed);
         });
-        let st = runtime.run(&good).unwrap();
+        let st = run(&runtime, &good);
         assert_eq!(st.tasks, 1);
         assert_eq!(count.load(Ordering::Relaxed), 1);
     }
@@ -1167,7 +1285,7 @@ mod tests {
                 let name = std::thread::current().name().unwrap_or("?").to_string();
                 nm.lock().insert(name);
             });
-            runtime.run(&g).unwrap();
+            run(&runtime, &g);
         }
         let names = names.lock().clone();
         assert!(!names.is_empty());
@@ -1190,6 +1308,62 @@ mod tests {
             .unwrap();
         let out = h.wait();
         assert_eq!(out.stats.deadline_met(), Some(true));
+    }
+
+    #[test]
+    fn executor_facade_tickets_drain_and_extras() {
+        let mut runtime = rt(Policy::Rws, 2);
+        let mk = || {
+            let mut g = TaskGraph::new("t");
+            g.add(TaskTypeId(0), Priority::Low, |_| {});
+            g
+        };
+        let t0 = Executor::submit(&mut runtime, JobSpec::new(mk())).unwrap();
+        let t1 = Executor::submit(&mut runtime, JobSpec::new(mk())).unwrap();
+        let id0 = t0.job();
+        let s0 = Executor::wait(&mut runtime, t0).unwrap();
+        assert_eq!(s0.id, id0);
+        assert!(s0.completed >= s0.started && s0.started >= s0.arrival);
+        // Drain returns only the un-waited job…
+        let rest = Executor::drain(&mut runtime).unwrap();
+        assert_eq!(rest.jobs.len(), 1);
+        assert_eq!(rest.jobs[0].id, t1.job());
+        // …a consumed ticket is unknown…
+        let stale = Ticket::new(runtime.exec_session, id0);
+        assert!(matches!(
+            Executor::wait(&mut runtime, stale),
+            Err(ExecError::UnknownTicket(_))
+        ));
+        // …and extras carry the (possibly zero) steal count once.
+        let extras = Executor::take_extras(&mut runtime);
+        assert!(extras.steals.is_some());
+        assert!(Executor::take_extras(&mut runtime).is_empty());
+        // The provided one-shot composes the verbs.
+        let report = runtime.run_dag(mk()).unwrap();
+        assert_eq!(report.backend, "das-runtime");
+        assert_eq!(report.tasks(), 1);
+    }
+
+    #[test]
+    fn from_session_applies_the_whole_surface() {
+        let topo = Arc::new(Topology::symmetric(2));
+        let session = SessionBuilder::new(Arc::clone(&topo), Policy::DamC)
+            .seed(77)
+            .park_timeout(Duration::from_millis(1))
+            .allow_high_priority_steal(true);
+        let mut runtime = Runtime::from_session(&session);
+        assert_eq!(runtime.topology().num_cores(), 2);
+        assert_eq!(runtime.scheduler().policy(), Policy::DamC);
+        assert_eq!(runtime.seed, 77);
+        assert_eq!(runtime.park_timeout, Duration::from_millis(1));
+        // The scheduler knob is in force.
+        assert!(runtime
+            .scheduler()
+            .stealable(&TaskMeta::new(TaskTypeId(0), Priority::High)));
+        // And the pool executes work.
+        let mut g = TaskGraph::new("s");
+        g.add(TaskTypeId(0), Priority::Low, |_| {});
+        assert_eq!(runtime.run_dag(g).unwrap().tasks(), 1);
     }
 
     #[test]

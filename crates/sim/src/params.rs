@@ -1,48 +1,17 @@
 //! Simulator configuration.
 
 use crate::cost::{CostModel, UniformCost};
-use das_core::{Policy, WeightRatio};
+use das_core::exec::SessionBuilder;
+use das_core::{Policy, QueueDiscipline, WeightRatio};
 use das_topology::Topology;
 use std::sync::Arc;
 
-/// Fixed runtime overheads of the simulated XiTAO-like runtime, in
-/// seconds of simulated time. Defaults are calibrated to the paper's
-/// observation that a global PTT search costs "in the order of one
-/// microsecond" on the TX2 (§4.1.1).
-#[derive(Clone, Copy, Debug)]
-pub struct SimParams {
-    /// Latency between waking a sleeping core and its first queue poll.
-    pub wake_latency: f64,
-    /// Cost of a dequeue + place decision + AQ insertion (includes the
-    /// PTT search).
-    pub dispatch_overhead: f64,
-    /// Cost of one successful steal (victim selection + CAS traffic).
-    pub steal_overhead: f64,
-    /// Upper bound on random victim probes per steal attempt, as a
-    /// multiple of the core count.
-    pub steal_tries_factor: usize,
-    /// Absolute measurement jitter (seconds) added to the execution time
-    /// the leader *reports* to the PTT — real clocks include cache
-    /// state, interrupts and timer granularity. The task's actual
-    /// duration is untouched; only the model's training signal is noisy.
-    /// §5.3's finding that the PTT weight ratio matters for tiny tiles
-    /// (whose true time is comparable to the jitter) but not for large
-    /// ones depends on this. Zero (the default) keeps decision-logic
-    /// tests exact; the Fig. 8 harness uses ~30 µs.
-    pub obs_noise: f64,
-}
-
-impl Default for SimParams {
-    fn default() -> Self {
-        SimParams {
-            wake_latency: 0.5e-6,
-            dispatch_overhead: 1.0e-6,
-            steal_overhead: 2.0e-6,
-            steal_tries_factor: 2,
-            obs_noise: 0.0,
-        }
-    }
-}
+/// Fixed runtime overheads of the simulated XiTAO-like runtime.
+///
+/// The struct itself lives in [`das_core::exec`] (so the backend-neutral
+/// [`SessionBuilder`] can own the full configuration surface); this is
+/// the historical `das_sim::SimParams` path, preserved by re-export.
+pub use das_core::exec::SimParams;
 
 /// Everything needed to construct a [`crate::Simulator`].
 #[derive(Clone)]
@@ -58,6 +27,9 @@ pub struct SimConfig {
     pub cost: Arc<dyn CostModel>,
     /// Runtime overheads.
     pub params: SimParams,
+    /// Ready-queue ordering rules for every simulated worker; the
+    /// paper's XiTAO discipline by default.
+    pub discipline: QueueDiscipline,
     /// Seed for the work-stealing RNG; equal seeds give bit-identical
     /// runs.
     pub seed: u64,
@@ -72,8 +44,29 @@ impl SimConfig {
             ratio: WeightRatio::PAPER,
             cost: Arc::new(UniformCost::new(1e-3)),
             params: SimParams::default(),
+            discipline: QueueDiscipline::XITAO,
             seed: 0x5eed,
         }
+    }
+
+    /// Adopt the backend-neutral parts of a [`SessionBuilder`]:
+    /// topology, policy, PTT ratio, seed, queue discipline and
+    /// simulated overheads. The cost model stays sim-specific — set it
+    /// with [`SimConfig::cost`] afterwards (the default is
+    /// [`UniformCost`] at 1 ms).
+    ///
+    /// The session's *scheduler* knobs (sampled search, periodic
+    /// exploration, the steal ablation) are **not** part of a
+    /// `SimConfig` — they live on the scheduler, which
+    /// `Simulator::from_session` / `from_session_with_cost` install
+    /// for you. Build through those constructors unless you are
+    /// deliberately supplying your own scheduler.
+    pub fn from_session(session: &SessionBuilder) -> Self {
+        SimConfig::new(Arc::clone(&session.topo), session.policy)
+            .ratio(session.ratio)
+            .seed(session.seed)
+            .params(session.sim_params)
+            .discipline(session.discipline)
     }
 
     /// Set the cost model.
@@ -99,6 +92,12 @@ impl SimConfig {
         self.params = params;
         self
     }
+
+    /// Set the ready-queue discipline (ablations).
+    pub fn discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,12 +110,33 @@ mod tests {
         let c = SimConfig::new(topo, Policy::Rws)
             .seed(42)
             .ratio(WeightRatio::new(2, 5))
+            .discipline(QueueDiscipline::PLAIN_LIFO)
             .params(SimParams {
                 wake_latency: 1e-6,
                 ..SimParams::default()
             });
         assert_eq!(c.seed, 42);
         assert_eq!(c.ratio, WeightRatio::new(2, 5));
+        assert_eq!(c.discipline, QueueDiscipline::PLAIN_LIFO);
         assert_eq!(c.params.wake_latency, 1e-6);
+    }
+
+    #[test]
+    fn from_session_copies_the_neutral_surface() {
+        let topo = Arc::new(Topology::tx2());
+        let s = SessionBuilder::new(Arc::clone(&topo), Policy::DamP)
+            .seed(7)
+            .ratio(WeightRatio::new(1, 2))
+            .sim_params(SimParams {
+                obs_noise: 3e-5,
+                ..SimParams::default()
+            });
+        let c = SimConfig::from_session(&s);
+        assert_eq!(c.policy, Policy::DamP);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.ratio, WeightRatio::new(1, 2));
+        assert_eq!(c.params.obs_noise, 3e-5);
+        assert_eq!(c.discipline, QueueDiscipline::XITAO);
+        assert_eq!(c.topo.num_cores(), topo.num_cores());
     }
 }

@@ -18,7 +18,7 @@ use crate::types;
 use das_core::{Priority, TaskMeta};
 use das_dag::Dag;
 use das_msg::Endpoint;
-use das_runtime::{Runtime, TaskGraph};
+use das_runtime::{JobSpec, Runtime, TaskGraph};
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
@@ -162,7 +162,9 @@ pub fn run_shared(rt: &Runtime, rows: usize, cols: usize, iters: usize, blocks: 
         }
         prev = cur;
     }
-    rt.run(&g).expect("heat graph is valid");
+    rt.submit(JobSpec::new(g))
+        .expect("heat graph is valid")
+        .wait();
 
     let final_buf = &bufs[iters % 2];
     // SAFETY: the runtime has quiesced; no concurrent access remains.
@@ -313,7 +315,9 @@ fn rank_main(
             });
             g.add_edge(comm_task, id);
         }
-        rt.run(&g).expect("heat rank graph is valid");
+        rt.submit(JobSpec::new(g))
+            .expect("heat rank graph is valid")
+            .wait();
         // Copy this iteration's results' ghost-adjacent state: dst ghosts
         // keep stale values, refreshed by next iteration's exchange from
         // src==dst swap. Column boundaries are fixed and pre-initialised.

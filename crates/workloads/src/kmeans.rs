@@ -16,7 +16,7 @@
 use crate::types;
 use das_core::Priority;
 use das_dag::{generators, Dag};
-use das_runtime::{Runtime, TaskGraph};
+use das_runtime::{JobSpec, Runtime, TaskGraph};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -259,7 +259,9 @@ impl KMeans {
         for id in chunk_ids {
             g.add_edge(id, reduce);
         }
-        rt.run(&g).expect("kmeans iteration graph is valid");
+        rt.submit(JobSpec::new(g))
+            .expect("kmeans iteration graph is valid")
+            .wait();
         let out = result.lock().clone();
         assert_eq!(out.len(), self.k * self.dim);
         out
@@ -304,7 +306,9 @@ impl KMeans {
                 }
             });
         }
-        rt.run(&g).expect("kmeans partials graph is valid");
+        rt.submit(JobSpec::new(g))
+            .expect("kmeans partials graph is valid")
+            .wait();
         let mut sums = vec![0.0; self.k * self.dim];
         let mut counts = vec![0usize; self.k];
         for p in partials.iter() {

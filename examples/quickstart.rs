@@ -1,5 +1,6 @@
 //! Quickstart: run a small moldable task DAG on the threaded runtime
-//! with the Dynamic Asymmetry scheduler (DAM-C) and inspect what the
+//! through the backend-neutral executor façade (`das::exec`), with the
+//! Dynamic Asymmetry scheduler (DAM-C), and inspect what the
 //! Performance Trace Table learned.
 //!
 //! ```sh
@@ -7,6 +8,7 @@
 //! ```
 
 use das::core::{Policy, Priority, TaskTypeId};
+use das::exec::{Executor, SessionBuilder};
 use das::runtime::{Runtime, TaskGraph};
 use das::topology::Topology;
 use das::workloads::kernels::{matmul_rows, Tile};
@@ -22,8 +24,12 @@ fn main() {
         topo.num_clusters()
     );
 
-    // 2. Create a runtime with the DAM-C policy (Table 1).
-    let rt = Runtime::new(Arc::clone(&topo), Policy::DamC);
+    // 2. One typed session config -> one executor. Swapping
+    //    `Runtime::from_session` for `das::sim::Simulator::from_session`
+    //    (and the graph for a `das::dag::Dag`) is the *only* change
+    //    needed to run the same experiment in simulation.
+    let session = SessionBuilder::new(Arc::clone(&topo), Policy::DamC);
+    let mut rt = Runtime::from_session(&session);
 
     // 3. Build a fork-join DAG of moldable GEMM tasks. Bodies partition
     //    their rows by (rank, width), so the scheduler may run them on
@@ -43,16 +49,16 @@ fn main() {
         g.add_edge(root, t);
     }
 
-    // 4. Run and report.
-    let stats = rt.run(&g).expect("valid DAG");
+    // 4. Run through the façade and report the backend-neutral result.
+    let report = rt.run_dag(g).expect("valid DAG");
     println!(
-        "ran {} tasks in {:?} ({:.0} tasks/s), {} steals",
-        stats.tasks,
-        stats.makespan,
-        stats.throughput(),
-        stats.steals
+        "backend {}: ran {} tasks in {:.3} ms ({:.0} tasks/s), {} steals",
+        report.backend,
+        report.tasks(),
+        report.makespan() * 1e3,
+        report.throughput(),
+        report.steals().unwrap_or(0),
     );
-    println!("execution places used: {:?}", stats.all_places);
 
     // 5. The learned model: one row per core, one column per width.
     let ptt = rt.scheduler().ptts().table(TaskTypeId(0));

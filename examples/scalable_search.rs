@@ -16,7 +16,7 @@
 
 use das::core::{Policy, TaskTypeId};
 use das::dag::generators;
-use das::sim::{Environment, Modifier, SimConfig, Simulator};
+use das::sim::{Environment, Modifier, Simulator};
 use das::topology::{CoreId, Topology};
 use das::workloads::cost::PaperCost;
 use std::hint::black_box;
@@ -45,13 +45,11 @@ fn search_latency(topo: &Arc<Topology>) -> (f64, f64, usize) {
 
 fn quality(topo: &Arc<Topology>, sampled: bool) -> f64 {
     let dag = generators::layered(TaskTypeId(0), 4, 800);
-    let sched = Arc::new(
-        das::core::Scheduler::new(Arc::clone(topo), Policy::DamC).with_sampled_search(sampled),
-    );
-    let mut sim = Simulator::new(
-        SimConfig::new(Arc::clone(topo), Policy::DamC).cost(Arc::new(PaperCost::new())),
-    );
-    sim.replace_scheduler(sched);
+    // The search knob lives on the one typed session config; a custom
+    // cost model composes through `from_session_with_cost`.
+    let session =
+        das::exec::SessionBuilder::new(Arc::clone(topo), Policy::DamC).sampled_search(sampled);
+    let mut sim = Simulator::from_session_with_cost(&session, Arc::new(PaperCost::new()));
     sim.set_env(
         Environment::interference_free(Arc::clone(topo)).and(Modifier::compute_corunner(CoreId(0))),
     );

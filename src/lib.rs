@@ -12,6 +12,12 @@
 //! * [`msg`] — in-process message passing.
 
 pub use das_core as core;
+/// The backend-neutral executor contract (`das_core::exec`): the
+/// [`Executor`](das_core::exec::Executor) trait, the
+/// [`ExecReport`](das_core::exec::ExecReport) result shape and the
+/// [`SessionBuilder`](das_core::exec::SessionBuilder) configuration
+/// surface, implemented by both [`sim`] and [`runtime`].
+pub use das_core::exec;
 pub use das_dag as dag;
 pub use das_msg as msg;
 pub use das_runtime as runtime;

@@ -101,7 +101,7 @@ fn collectives_compose_with_runtime_tasks() {
                         },
                     );
                 }
-                rt.run(&g).unwrap();
+                rt.submit(das::runtime::JobSpec::new(g)).unwrap().wait();
                 ep.allreduce(ReduceOp::Sum, vec![sum.load()])
             })
         })

@@ -43,7 +43,7 @@ fn matmul_graph_produces_correct_tiles() {
             });
             g.add_edge(root, id);
         }
-        rt.run(&g).unwrap();
+        rt.submit(das::runtime::JobSpec::new(g)).unwrap().wait();
         for t in 0..24 {
             let got = results[t].lock().unwrap();
             assert_eq!(*got, want, "{policy} tile {t}");
@@ -136,7 +136,7 @@ fn mixed_priority_stress() {
             }
             prev_crit = crit;
         }
-        let st = rt.run(&g).unwrap();
+        let st = rt.submit(das::runtime::JobSpec::new(g)).unwrap().wait().rt;
         assert_eq!(st.tasks, 240, "{policy}");
         assert_eq!(count.load(Ordering::Relaxed), 240, "{policy}");
     }

@@ -7,8 +7,9 @@
 use das::core::jobs::{JobId, JobSpec};
 use das::core::Policy;
 use das::dag::Dag;
+use das::exec::{Executor, SessionBuilder};
 use das::runtime::{Runtime, TaskGraph};
-use das::sim::{cost::UniformCost, SimConfig, Simulator};
+use das::sim::Simulator;
 use das::topology::Topology;
 use das::workloads::arrivals::{JobShape, StreamConfig};
 use std::sync::Arc;
@@ -16,16 +17,7 @@ use std::sync::Arc;
 /// The runtime executes the same DAG shapes with no-op bodies: the
 /// differential contract is about scheduling/accounting, not kernels.
 fn to_task_graph(dag: &Dag) -> TaskGraph {
-    let mut g = TaskGraph::new(dag.name());
-    for (_, node) in dag.iter() {
-        g.add_meta(node.meta, |_| {});
-    }
-    for (id, node) in dag.iter() {
-        for &s in &node.succs {
-            g.add_edge(id, s);
-        }
-    }
-    g
+    TaskGraph::noop_from_dag(dag)
 }
 
 fn stream() -> Vec<JobSpec<Dag>> {
@@ -44,13 +36,13 @@ fn stream() -> Vec<JobSpec<Dag>> {
 fn both_backends_complete_the_same_stream_with_consistent_accounting() {
     let jobs = stream();
 
-    // --- simulator ---
-    let mut sim = Simulator::new(
-        SimConfig::new(Arc::new(Topology::tx2()), Policy::DamC)
-            .seed(7)
-            .cost(Arc::new(UniformCost::new(1e-3))),
+    // --- simulator, through the executor façade ---
+    let mut sim = Simulator::from_session(
+        &SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC).seed(7),
     );
-    let sim_stats = sim.run_stream(&jobs).expect("sim stream completes");
+    let sim_stats = Executor::run_stream(&mut sim, jobs.clone())
+        .expect("sim stream completes")
+        .jobs;
 
     // --- runtime ---
     let rt = Runtime::new(Arc::new(Topology::symmetric(4)), Policy::DamC);
@@ -108,12 +100,10 @@ fn both_backends_complete_the_same_stream_with_consistent_accounting() {
 fn sim_side_ordering_is_bit_reproducible() {
     let jobs = stream();
     let run = || {
-        let mut sim = Simulator::new(
-            SimConfig::new(Arc::new(Topology::tx2()), Policy::DamC)
-                .seed(7)
-                .cost(Arc::new(UniformCost::new(1e-3))),
+        let mut sim = Simulator::from_session(
+            &SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC).seed(7),
         );
-        sim.run_stream(&jobs).expect("sim stream completes")
+        Executor::run_stream(&mut sim, jobs.clone()).expect("sim stream completes")
     };
     let a = run();
     let b = run();

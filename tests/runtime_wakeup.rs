@@ -10,7 +10,7 @@
 //! sleep if the epoch moved since the pre-scan `prepare`.
 
 use das::core::{Policy, Priority, TaskTypeId};
-use das::runtime::{IdleParker, Runtime, TaskGraph};
+use das::runtime::{IdleParker, JobSpec, Runtime, TaskGraph};
 use das::topology::Topology;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -49,7 +49,7 @@ fn idle_dispatch_latency_is_bounded() {
     // Warm the pool so worker-thread startup cost is not measured.
     let mut warm = TaskGraph::new("warm");
     warm.add(TaskTypeId(0), Priority::Low, |_| {});
-    rt.run(&warm).unwrap();
+    rt.submit(JobSpec::new(warm)).unwrap().wait();
 
     let t0 = Instant::now();
     for _ in 0..20 {
@@ -57,7 +57,7 @@ fn idle_dispatch_latency_is_bounded() {
         // park) pool: each one crosses the scan-to-park window.
         let mut g = TaskGraph::new("tick");
         g.add(TaskTypeId(0), Priority::Low, |_| {});
-        rt.run(&g).unwrap();
+        rt.submit(JobSpec::new(g)).unwrap().wait();
     }
     let elapsed = t0.elapsed();
     assert!(

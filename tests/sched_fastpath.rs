@@ -147,12 +147,18 @@ fn idle_set_wakeups_match_broadcast_on_multi_job_streams() {
         .generate();
     for policy in Policy::ALL {
         for env in [false, true] {
-            let a = stream_sim(policy, &topo, false, env)
-                .run_stream(&jobs)
-                .unwrap_or_else(|e| panic!("{policy} idle-set: {e}"));
-            let b = stream_sim(policy, &topo, true, env)
-                .run_stream(&jobs)
-                .unwrap_or_else(|e| panic!("{policy} broadcast: {e}"));
+            // Both engines go through the incremental session path
+            // (submit + drain) — the façade's machinery.
+            let drain = |mut sim: Simulator, label: &str| {
+                for spec in &jobs {
+                    sim.submit(spec.clone())
+                        .unwrap_or_else(|e| panic!("{policy} {label}: {e}"));
+                }
+                sim.drain()
+                    .unwrap_or_else(|e| panic!("{policy} {label}: {e}"))
+            };
+            let a = drain(stream_sim(policy, &topo, false, env), "idle-set");
+            let b = drain(stream_sim(policy, &topo, true, env), "broadcast");
             assert_eq!(a, b, "{policy} env={env}");
         }
     }
