@@ -4,7 +4,7 @@
 //! §5.4 of the paper flags scheduling overhead as the open problem
 //! ("the design … may result in non negligible overheads when scaling
 //! to platforms with large amount of execution places and cores").
-//! This harness measures the four hot paths that dominate that
+//! This harness measures the five hot paths that dominate that
 //! overhead, on machines an order of magnitude larger than the TX2:
 //!
 //! * **sim events/sec** — discrete events the engine retires per wall
@@ -15,6 +15,10 @@
 //!   multi-job regime of PR 2 behind the PR 4 façade);
 //! * **runtime tasks/sec** — tasks committed per wall second by the
 //!   threaded worker pool (atomic active counter, short lock windows);
+//! * **cluster jobs/sec** — wall-clock throughput of the same stream
+//!   sharded over a 4-node all-sim `das-cluster` (power-of-two routing
+//!   over message-layer load reports, gather/reduce drain epilogue):
+//!   the dispatch + wire + merge overhead of the multi-node tier;
 //! * **ptt search ns/op** — one `global_search` decision on 64- and
 //!   256-core tables, for both the O(1) aggregate-cached `estimate`
 //!   fast path and the pre-aggregate per-call cluster rescan; the gate
@@ -33,6 +37,8 @@
 //! therefore the JSON values) naturally vary with the host.
 
 use das_bench::{scale_from_args, SEED};
+use das_cluster::{ClusterBuilder, RoutePolicy};
+use das_core::exec::{Executor, SessionBuilder};
 use das_core::{Policy, Priority, Ptt, TaskTypeId, WeightRatio};
 use das_dag::generators;
 use das_runtime::{JobSpec, Runtime, TaskGraph};
@@ -103,6 +109,33 @@ fn stream_jobs_per_sec(scale: usize) -> (usize, f64) {
     let st = sim.drain().expect("perf-gate stream completes");
     assert_eq!(st.jobs.len(), n);
     (n, t0.elapsed().as_secs_f64())
+}
+
+/// The stream workload of [`stream_jobs_per_sec`], sharded across a
+/// 4-node all-sim cluster through the `Executor` façade the cluster
+/// dispatcher implements. Measures the tier's end-to-end overhead:
+/// routing (po2 over message-layer load reports), graph forwarding,
+/// per-node batch execution and the gather/reduce stats merge.
+fn cluster_jobs_per_sec(scale: usize) -> (usize, usize, f64) {
+    let nodes = 4;
+    let base = SessionBuilder::new(Arc::new(Topology::grid(1, 8, 8)), Policy::DamC).seed(SEED);
+    let mut cluster = ClusterBuilder::new(base, nodes)
+        .route(RoutePolicy::PowerOfTwo)
+        .build_sim();
+    let jobs = StreamConfig::poisson(SEED, (2_000 / scale).max(32), 200.0)
+        .shape(JobShape::Mixed {
+            parallelism: 4,
+            layers: 6,
+        })
+        .generate();
+    let n = jobs.len();
+    let t0 = Instant::now();
+    for spec in jobs {
+        Executor::submit(&mut cluster, spec).expect("perf-gate job routes");
+    }
+    let st = cluster.drain().expect("perf-gate cluster drains");
+    assert_eq!(st.jobs.len(), n);
+    (n, nodes, t0.elapsed().as_secs_f64())
 }
 
 fn runtime_tasks_per_sec(scale: usize) -> (usize, f64) {
@@ -179,6 +212,12 @@ fn main() {
         "  runtime_tasks_per_sec  {rt_tps:>14.0}  ({tasks} tasks in {rt_wall:.3}s, 64 workers)"
     );
 
+    let (cl_jobs, cl_nodes, cl_wall) = cluster_jobs_per_sec(scale);
+    let cl_jps = cl_jobs as f64 / cl_wall;
+    println!(
+        "  cluster_jobs_per_sec   {cl_jps:>14.1}  ({cl_jobs} jobs in {cl_wall:.3}s, {cl_nodes}x64-core nodes)"
+    );
+
     let iters = (20_000 / scale).max(200);
     let rescan_iters = (2_000 / scale).max(50);
     let ptt64 = representative_ptt(Arc::new(Topology::grid(1, 8, 8)));
@@ -216,11 +255,12 @@ fn main() {
   "bench": "sched",
   "schema": 1,
   "scale": {scale},
-  "topology_cores": {{ "sim": 64, "stream": 64, "runtime": 64, "ptt": [64, 256] }},
+  "topology_cores": {{ "sim": 64, "stream": 64, "runtime": 64, "cluster": [{cl_nodes}, 64], "ptt": [64, 256] }},
   "metrics": {{
     "sim_events_per_sec": {{ "value": {sim_eps:.1}, "events": {events}, "wall_s": {sim_wall:.6} }},
     "stream_jobs_per_sec": {{ "value": {stream_jps:.3}, "jobs": {jobs}, "wall_s": {stream_wall:.6} }},
     "runtime_tasks_per_sec": {{ "value": {rt_tps:.1}, "tasks": {tasks}, "wall_s": {rt_wall:.6} }},
+    "cluster_jobs_per_sec": {{ "value": {cl_jps:.3}, "jobs": {cl_jobs}, "nodes": {cl_nodes}, "wall_s": {cl_wall:.6} }},
     "ptt_search_ns_per_op": {{ "cores64": {ns64:.1}, "cores256": {ns256:.1}, "cores256_rescan": {ns256_rescan:.1}, "speedup_vs_rescan_256": {speedup:.2} }}
   }}
 }}

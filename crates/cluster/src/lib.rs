@@ -1,0 +1,864 @@
+//! # das-cluster — a sharded multi-node scheduling tier
+//!
+//! Everything below the executor contract schedules *within* one node:
+//! the PTT, Algorithm 1 and the two-queue discipline place tasks on the
+//! cores of a single platform. This crate adds the tier above: a
+//! [`Cluster`] that owns N node-local executors (each a `das-sim` or
+//! `das-runtime` instance built from its own
+//! [`SessionBuilder`]) stitched together over [`das_msg::Endpoint`]s —
+//! and whose dispatcher **itself implements
+//! [`das_core::exec::Executor`]**, so any client written against
+//! `&mut dyn Executor` (the `job_stream` example, the `jobs_throughput`
+//! harness, the contract tests) scales from one node to a fleet with
+//! zero changes.
+//!
+//! ## Architecture
+//!
+//! One [`das_msg::Communicator`] with N+1 ranks: the dispatcher is rank
+//! 0, node `i` is rank `i + 1` and runs a **node agent** thread owning
+//! its executor. Three planes share the endpoints:
+//!
+//! * **control** — submit/wait/shutdown commands and their
+//!   acknowledgements as point-to-point messages (graphs themselves
+//!   move through an in-process side channel; `das_msg` payloads are
+//!   `f64` rows, and task closures could never transit a wire format —
+//!   on a real deployment this channel is the RPC body);
+//! * **load** — after *every* command a node pushes its
+//!   outstanding-job count back over the message layer; the dispatcher
+//!   collapses the backlog with [`das_msg::Endpoint::try_recv_latest`]
+//!   and routes by [`RoutePolicy`] (round-robin, least-outstanding, or
+//!   seeded power-of-two-choices) over that view;
+//! * **stats** — `drain` runs a collective epilogue: every node
+//!   `gather`s its completion records and its
+//!   [`ExecExtras`] to rank 0, then a summing `reduce`
+//!   cross-checks the decoded totals; the dispatcher merges the records
+//!   into cluster-wide [`StreamStats`] percentiles and folds the extras
+//!   (plus per-node attribution values `node{i}.jobs`, `node{i}.steals`,
+//!   …) into one report.
+//!
+//! ## Tickets and ids
+//!
+//! The cluster issues its own dense [`JobId`]s and stamps tickets with
+//! its own session tag; the route table maps each cluster job to
+//! `(node, node-local id)`. Node-local tickets — stamped with the node
+//! executor's *own* session tag — never leave their node agent, so a
+//! forged or stale cluster ticket can never redeem a node job directly.
+//!
+//! ## Determinism
+//!
+//! Routing is a pure function of the route seed and the load view, and
+//! the load view is updated synchronously (a node reports *before* it
+//! acknowledges), so the job→node assignment is reproducible; each
+//! `das-sim` node is bit-reproducible given its session seed; therefore
+//! an all-sim cluster is **bit-reproducible end to end**, and a 1-node
+//! sim cluster is bit-identical to a bare `Simulator` session (both
+//! pinned by `tests/cluster_exec.rs`).
+//!
+//! ```
+//! use das_cluster::{ClusterBuilder, RoutePolicy};
+//! use das_core::exec::{Executor, SessionBuilder};
+//! use das_core::jobs::JobSpec;
+//! use das_core::{Policy, TaskTypeId};
+//! use das_dag::generators;
+//! use das_topology::Topology;
+//! use std::sync::Arc;
+//!
+//! let base = SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC).seed(42);
+//! let mut cluster = ClusterBuilder::new(base, 3)
+//!     .route(RoutePolicy::PowerOfTwo)
+//!     .build_sim();
+//! for j in 0..6 {
+//!     let dag = generators::chain(TaskTypeId(0), 4);
+//!     cluster.submit(JobSpec::new(dag).at(j as f64 * 1e-3)).unwrap();
+//! }
+//! let stats = cluster.drain().unwrap();
+//! assert_eq!(stats.jobs.len(), 6);
+//! ```
+
+mod route;
+mod wire;
+
+pub use route::RoutePolicy;
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use das_core::exec::{session_tag, ExecError, ExecExtras, Executor, SessionBuilder, Ticket};
+use das_core::jobs::{JobId, JobSpec, JobStats, StreamStats};
+use das_dag::Dag;
+use das_msg::{Communicator, Endpoint, Payload, ReduceOp};
+use das_runtime::{Runtime, TaskGraph};
+use das_sim::Simulator;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use wire::{
+    ACK_OK, DISPATCHER, ERR_UNKNOWN_TICKET, OP_DRAIN, OP_SHUTDOWN, OP_SUBMIT, OP_WAIT, T_ACK,
+    T_CTRL, T_LOAD,
+};
+
+/// Builds a [`Cluster`]: per-node sessions, routing policy, route seed.
+///
+/// [`ClusterBuilder::new`] derives node `i`'s session from the base by
+/// offsetting the seed by `i` — node 0 keeps the base seed, which is
+/// what makes a 1-node cluster bit-identical to the bare backend built
+/// from the same session. [`ClusterBuilder::from_sessions`] accepts
+/// fully heterogeneous nodes (different topologies, policies, seeds).
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    sessions: Vec<SessionBuilder>,
+    policy: RoutePolicy,
+    route_seed: u64,
+}
+
+impl ClusterBuilder {
+    /// `nodes` homogeneous nodes derived from `base` (node `i` runs
+    /// with seed `base.seed + i`, everything else shared).
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(base: SessionBuilder, nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        let sessions = (0..nodes)
+            .map(|i| {
+                let mut s = base.clone();
+                s.seed = base.seed.wrapping_add(i as u64);
+                s
+            })
+            .collect();
+        ClusterBuilder {
+            sessions,
+            policy: RoutePolicy::PowerOfTwo,
+            route_seed: base.seed,
+        }
+    }
+
+    /// Heterogeneous nodes, one per session.
+    ///
+    /// # Panics
+    /// Panics if `sessions` is empty.
+    pub fn from_sessions(sessions: Vec<SessionBuilder>) -> Self {
+        assert!(!sessions.is_empty(), "a cluster needs at least one node");
+        let route_seed = sessions[0].seed;
+        ClusterBuilder {
+            sessions,
+            policy: RoutePolicy::PowerOfTwo,
+            route_seed,
+        }
+    }
+
+    /// Set the routing policy (default: power of two choices).
+    pub fn route(mut self, policy: RoutePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Seed the routing RNG independently of the node sessions
+    /// (default: the first session's seed).
+    pub fn route_seed(mut self, seed: u64) -> Self {
+        self.route_seed = seed;
+        self
+    }
+
+    /// The per-node sessions this builder will construct from.
+    pub fn sessions(&self) -> &[SessionBuilder] {
+        &self.sessions
+    }
+
+    /// A cluster of `das-sim` nodes (`Simulator::from_session` each).
+    pub fn build_sim(self) -> Cluster<Dag> {
+        self.build_with(|_, session| Simulator::from_session(session))
+    }
+
+    /// A cluster of `das-runtime` nodes (`Runtime::from_session` each);
+    /// worker threads per node are the node topology's core count.
+    pub fn build_runtime(self) -> Cluster<TaskGraph> {
+        self.build_with(|_, session| Runtime::from_session(session))
+    }
+
+    /// A cluster over any executor backend: `factory(i, &session)`
+    /// builds node `i`. All nodes must share one graph type — mixing
+    /// backends with different graph representations cannot present a
+    /// single `Executor<Graph = G>` front.
+    pub fn build_with<E, F>(self, mut factory: F) -> Cluster<E::Graph>
+    where
+        E: Executor + Send + 'static,
+        E::Graph: Send + 'static,
+        F: FnMut(usize, &SessionBuilder) -> E,
+    {
+        let n = self.sessions.len();
+        let comm = Communicator::new(n + 1);
+        let mut nodes = Vec::with_capacity(n);
+        let mut agents = Vec::with_capacity(n);
+        for (i, session) in self.sessions.iter().enumerate() {
+            let exec = factory(i, session);
+            let ep = comm.endpoint(i + 1);
+            let (tx, rx) = std::sync::mpsc::channel();
+            let errs = Arc::new(Mutex::new(String::new()));
+            let errs_agent = Arc::clone(&errs);
+            agents.push(
+                std::thread::Builder::new()
+                    .name(format!("das-cluster-node-{i}"))
+                    .spawn(move || node_agent(exec, ep, rx, errs_agent))
+                    .expect("spawn cluster node agent"),
+            );
+            nodes.push(NodeLink { tx, errs });
+        }
+        Cluster {
+            ep: comm.endpoint(DISPATCHER),
+            nodes,
+            agents,
+            policy: self.policy,
+            rng: SmallRng::seed_from_u64(self.route_seed),
+            rr: 0,
+            loads: vec![0.0; n],
+            route: HashMap::new(),
+            next_job: 0,
+            exec_session: session_tag(),
+            exec_extras: ExecExtras::default(),
+        }
+    }
+}
+
+/// Dispatcher-side handle of one node: the graph side channel and the
+/// node's last error message (strings stay in-process; only codes
+/// cross the payload format).
+struct NodeLink<G> {
+    tx: Sender<JobSpec<G>>,
+    errs: Arc<Mutex<String>>,
+}
+
+/// Where a cluster job went.
+#[derive(Clone, Copy, Debug)]
+struct NodeRoute {
+    node: usize,
+    local: u64,
+}
+
+/// The sharded scheduling tier: N node-local executors behind one
+/// dispatcher that speaks the [`Executor`] contract. See the crate docs
+/// for the architecture; build with [`ClusterBuilder`].
+pub struct Cluster<G> {
+    ep: Endpoint,
+    nodes: Vec<NodeLink<G>>,
+    agents: Vec<JoinHandle<()>>,
+    policy: RoutePolicy,
+    rng: SmallRng,
+    rr: usize,
+    /// Last load report per node (outstanding jobs), fed exclusively by
+    /// `T_LOAD` messages.
+    loads: Vec<f64>,
+    /// Cluster job id → node placement, for every submitted job not yet
+    /// waited or drained.
+    route: HashMap<u64, NodeRoute>,
+    next_job: u64,
+    exec_session: u64,
+    exec_extras: ExecExtras,
+}
+
+impl<G> Cluster<G> {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The routing policy in force.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// The node an outstanding ticket's job was routed to; `None` for
+    /// tickets of other executors or jobs already waited/drained.
+    pub fn node_of(&self, ticket: &Ticket) -> Option<usize> {
+        (ticket.session() == self.exec_session)
+            .then(|| self.route.get(&ticket.job().0).map(|r| r.node))
+            .flatten()
+    }
+
+    fn rank(node: usize) -> usize {
+        node + 1
+    }
+
+    /// Fold every pending load report into the routing view (newest
+    /// report per node wins).
+    fn refresh_loads(&mut self) {
+        for (i, load) in self.loads.iter_mut().enumerate() {
+            if let Some(p) = self.ep.try_recv_latest(Self::rank(i), T_LOAD) {
+                if let Some(&v) = p.first() {
+                    *load = v;
+                }
+            }
+        }
+    }
+
+    /// The node's side-channel error string (set before every error
+    /// acknowledgement).
+    fn node_error(&self, node: usize) -> String {
+        let msg = self.nodes[node].errs.lock().clone();
+        if msg.is_empty() {
+            format!("node {node} failed")
+        } else {
+            format!("node {node}: {msg}")
+        }
+    }
+}
+
+impl<G> Executor for Cluster<G> {
+    type Graph = G;
+
+    fn backend(&self) -> &'static str {
+        "das-cluster"
+    }
+
+    /// Route the job by policy, forward it to its node, and stamp the
+    /// acknowledged node-local id into the cluster's route table.
+    /// Cluster job ids are dense in submission order across the whole
+    /// cluster (rejected jobs consume no id, as on the bare backends).
+    fn submit(&mut self, spec: JobSpec<G>) -> Result<Ticket, ExecError> {
+        self.refresh_loads();
+        let node = route::pick(self.policy, &self.loads, &mut self.rr, &mut self.rng);
+        self.nodes[node]
+            .tx
+            .send(spec)
+            .map_err(|_| ExecError::Failed(format!("node {node} is down")))?;
+        self.ep.send(Self::rank(node), T_CTRL, vec![OP_SUBMIT]);
+        let ack = self.ep.recv(Self::rank(node), T_ACK);
+        if ack.first() != Some(&ACK_OK) {
+            return Err(wire::decode_err(&ack, self.node_error(node)));
+        }
+        let local = ack[1] as u64;
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.route.insert(id.0, NodeRoute { node, local });
+        Ok(Ticket::new(self.exec_session, id))
+    }
+
+    /// Redeem a ticket against the node its job was routed to; the
+    /// returned record carries the cluster job id and consumes the
+    /// job's drain record (node-side and in the route table).
+    fn wait(&mut self, ticket: Ticket) -> Result<JobStats, ExecError> {
+        let id = ticket.job();
+        if ticket.session() != self.exec_session {
+            return Err(ExecError::UnknownTicket(id));
+        }
+        let Some(NodeRoute { node, local }) = self.route.remove(&id.0) else {
+            return Err(ExecError::UnknownTicket(id));
+        };
+        self.ep
+            .send(Self::rank(node), T_CTRL, vec![OP_WAIT, local as f64]);
+        let ack = self.ep.recv(Self::rank(node), T_ACK);
+        if ack.first() != Some(&ACK_OK) {
+            let err = wire::decode_err(&ack, self.node_error(node));
+            // Remap the node-local id in the error onto the cluster id.
+            return Err(match err {
+                ExecError::UnknownTicket(_) => ExecError::UnknownTicket(id),
+                other => other,
+            });
+        }
+        let mut stats = wire::decode_jobs(&ack[1..])
+            .pop()
+            .ok_or_else(|| ExecError::Failed(format!("node {node}: empty wait reply")))?;
+        stats.id = id;
+        Ok(stats)
+    }
+
+    /// Drain every node in parallel and merge the per-node results via
+    /// the collective epilogue: `gather` (records), `gather` (extras),
+    /// then a summing `reduce` whose totals cross-check the decoded
+    /// records — a wire-format regression tripping here, not in a
+    /// silently wrong percentile. On a node failure the whole drain
+    /// fails and the outstanding jobs of the failed batch are lost
+    /// (mirroring the bare simulator's batch-failure semantics).
+    fn drain(&mut self) -> Result<StreamStats, ExecError> {
+        let n = self.nodes.len();
+        for node in 0..n {
+            self.ep.send(Self::rank(node), T_CTRL, vec![OP_DRAIN]);
+        }
+        let records = self
+            .ep
+            .gather(DISPATCHER, Payload::new())
+            .expect("rank 0 gathers");
+        let extras = self
+            .ep
+            .gather(DISPATCHER, Payload::new())
+            .expect("rank 0 gathers");
+        let totals = self
+            .ep
+            .reduce(DISPATCHER, ReduceOp::Sum, vec![0.0; 3])
+            .expect("rank 0 reduces");
+        self.refresh_loads();
+        if totals[0] > 0.0 {
+            let why = (0..n)
+                .filter(|&i| !self.nodes[i].errs.lock().is_empty())
+                .map(|i| self.node_error(i))
+                .collect::<Vec<_>>()
+                .join("; ");
+            self.route.clear();
+            return Err(ExecError::Failed(if why.is_empty() {
+                "cluster drain failed".into()
+            } else {
+                why
+            }));
+        }
+
+        // Remap node-local ids onto cluster ids through the route table
+        // (exactly the submitted-but-unwaited jobs are drained).
+        let mut reverse: HashMap<(usize, u64), u64> = self
+            .route
+            .drain()
+            .map(|(cluster, r)| ((r.node, r.local), cluster))
+            .collect();
+        let mut jobs: Vec<JobStats> = Vec::new();
+        let mut merged = ExecExtras::default();
+        for node in 0..n {
+            let rank = Self::rank(node);
+            let node_jobs = wire::decode_jobs(&records[rank]);
+            merged.bump(&format!("node{node}.jobs"), node_jobs.len() as f64);
+            for mut j in node_jobs {
+                let cluster = reverse
+                    .remove(&(node, j.id.0))
+                    .expect("node drained a job the dispatcher never routed to it");
+                j.id = JobId(cluster);
+                jobs.push(j);
+            }
+            let e = wire::decode_extras(&extras[rank]);
+            if let Some(s) = e.steals {
+                merged.bump(&format!("node{node}.steals"), s as f64);
+            }
+            if let Some(ev) = e.events {
+                merged.bump(&format!("node{node}.events"), ev as f64);
+            }
+            merged.absorb(e);
+        }
+        // Route entries left over after a full drain belong to jobs an
+        // *earlier failed batch* lost (a `wait` that returned `Failed`
+        // loses its node's whole pending batch, but the dispatcher only
+        // learns about the waited job): drop them, exactly as the bare
+        // simulator forgets a failed batch — their tickets redeem as
+        // `UnknownTicket` from here on. Wire-format integrity is
+        // guarded by the reduce cross-check below, not by this set.
+        drop(reverse);
+        // The reduced totals must agree with the decoded records.
+        assert_eq!(totals[1] as usize, jobs.len(), "drain job-count mismatch");
+        assert_eq!(
+            totals[2] as usize,
+            jobs.iter().map(|j| j.tasks).sum::<usize>(),
+            "drain task-count mismatch"
+        );
+        self.exec_extras.absorb(merged);
+        // The cluster size is a fact, not a counter: write it with set
+        // semantics *after* the absorb so repeated drains between two
+        // `take_extras` calls do not sum it into nonsense.
+        self.exec_extras.set("nodes", n as f64);
+        Ok(StreamStats::from_jobs(jobs))
+    }
+
+    fn take_extras(&mut self) -> ExecExtras {
+        std::mem::take(&mut self.exec_extras)
+    }
+}
+
+impl<G> Drop for Cluster<G> {
+    fn drop(&mut self) {
+        for node in 0..self.nodes.len() {
+            self.ep.send(Self::rank(node), T_CTRL, vec![OP_SHUTDOWN]);
+        }
+        for agent in self.agents.drain(..) {
+            let _ = agent.join();
+        }
+    }
+}
+
+/// Run one executor-contract operation on the node agent, translating
+/// errors (and executor panics — a runtime node's `wait` re-raises task
+/// body panics) into acknowledgement payloads, with the human-readable
+/// message left in the in-process side channel.
+fn run_op<T>(errs: &Mutex<String>, f: impl FnOnce() -> Result<T, ExecError>) -> Result<T, Payload> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => {
+            // A successful op clears the slot: drain-failure diagnostics
+            // must not drag in long-resolved errors of healthy nodes.
+            errs.lock().clear();
+            Ok(v)
+        }
+        Ok(Err(e)) => {
+            *errs.lock() = e.to_string();
+            Err(wire::encode_err(&e))
+        }
+        Err(_) => {
+            *errs.lock() = "node executor panicked".into();
+            Err(vec![wire::ACK_ERR, wire::ERR_FAILED])
+        }
+    }
+}
+
+/// The node agent loop: owns this node's executor, serves dispatcher
+/// commands, pushes a load report before every acknowledgement, and
+/// participates in the drain collectives. Node-local tickets live (and
+/// die) here.
+fn node_agent<E: Executor>(
+    mut exec: E,
+    ep: Endpoint,
+    inbox: Receiver<JobSpec<E::Graph>>,
+    errs: Arc<Mutex<String>>,
+) {
+    let mut tickets: HashMap<u64, Ticket> = HashMap::new();
+    let mut outstanding: f64 = 0.0;
+    loop {
+        let cmd = ep.recv(DISPATCHER, T_CTRL);
+        let op = cmd.first().copied().unwrap_or(OP_SHUTDOWN);
+        if op == OP_SHUTDOWN {
+            return;
+        } else if op == OP_SUBMIT {
+            // The graph arrived on the side channel before the doorbell.
+            let Ok(spec) = inbox.recv() else { return };
+            let reply = match run_op(&errs, || exec.submit(spec)) {
+                Ok(ticket) => {
+                    let local = ticket.job().0;
+                    tickets.insert(local, ticket);
+                    outstanding += 1.0;
+                    vec![ACK_OK, local as f64]
+                }
+                Err(p) => p,
+            };
+            ep.send(DISPATCHER, T_LOAD, vec![outstanding]);
+            ep.send(DISPATCHER, T_ACK, reply);
+        } else if op == OP_WAIT {
+            // A missing id slot must take the error path, never alias a
+            // real id (note `-1.0 as u64` would saturate to 0, a valid
+            // node-local job id).
+            let reply = match cmd
+                .get(1)
+                .map(|&v| v as u64)
+                .and_then(|local| tickets.remove(&local))
+            {
+                None => vec![
+                    wire::ACK_ERR,
+                    ERR_UNKNOWN_TICKET,
+                    cmd.get(1).copied().unwrap_or(0.0),
+                ],
+                Some(ticket) => {
+                    // Only the waited job leaves the count, even when the
+                    // wait fails. On a batch backend a `Failed` wait lost
+                    // the node's whole pending batch, so until the next
+                    // drain resets the count this node reports phantom
+                    // backlog — deliberate: the remaining tickets must
+                    // stay redeemable (on a pool backend the siblings of
+                    // a panicked job are alive and genuinely outstanding,
+                    // so resyncing here would corrupt *their* waits), and
+                    // steering new jobs away from a node that just failed
+                    // a batch is the right routing bias anyway.
+                    outstanding -= 1.0;
+                    match run_op(&errs, || exec.wait(ticket)) {
+                        Ok(stats) => {
+                            let mut p = vec![ACK_OK];
+                            wire::push_job(&mut p, &stats);
+                            p
+                        }
+                        Err(p) => p,
+                    }
+                }
+            };
+            ep.send(DISPATCHER, T_LOAD, vec![outstanding]);
+            ep.send(DISPATCHER, T_ACK, reply);
+        } else if op == OP_DRAIN {
+            let drained = run_op(&errs, || exec.drain());
+            tickets.clear();
+            outstanding = 0.0;
+            ep.send(DISPATCHER, T_LOAD, vec![0.0]);
+            // Always run the full collective epilogue, error or not: a
+            // node skipping a collective would deadlock the cluster.
+            let (records, err_flag, jobs, tasks) = match &drained {
+                Ok(stats) => (
+                    wire::encode_jobs(&stats.jobs),
+                    0.0,
+                    stats.jobs.len() as f64,
+                    stats.tasks as f64,
+                ),
+                Err(_) => (Payload::new(), 1.0, 0.0, 0.0),
+            };
+            let extras = exec.take_extras();
+            ep.gather(DISPATCHER, records);
+            ep.gather(DISPATCHER, wire::encode_extras(&extras));
+            ep.reduce(DISPATCHER, ReduceOp::Sum, vec![err_flag, jobs, tasks]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use das_core::{Policy, TaskTypeId};
+    use das_dag::generators;
+    use das_topology::Topology;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn base_session(seed: u64) -> SessionBuilder {
+        SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC).seed(seed)
+    }
+
+    fn chain_job(j: usize) -> JobSpec<Dag> {
+        JobSpec::new(generators::chain(TaskTypeId(0), 4)).at(j as f64 * 1e-3)
+    }
+
+    #[test]
+    fn round_robin_attributes_jobs_evenly() {
+        let mut cluster = ClusterBuilder::new(base_session(1), 3)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim();
+        for j in 0..6 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        let stats = cluster.drain().unwrap();
+        assert_eq!(stats.jobs.len(), 6);
+        assert_eq!(stats.tasks, 24);
+        // Cluster ids are dense in submission order.
+        let ids: Vec<u64> = stats.jobs.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        let extras = cluster.take_extras();
+        assert_eq!(extras.get("nodes"), Some(3.0));
+        for node in 0..3 {
+            assert_eq!(
+                extras.get(&format!("node{node}.jobs")),
+                Some(2.0),
+                "round-robin must spread 6 jobs as 2+2+2"
+            );
+        }
+        assert!(extras.events.unwrap() > 0, "sim nodes report events");
+    }
+
+    #[test]
+    fn least_outstanding_balances_an_unwaited_stream() {
+        let mut cluster = ClusterBuilder::new(base_session(2), 4)
+            .route(RoutePolicy::LeastOutstanding)
+            .build_sim();
+        for j in 0..12 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        cluster.drain().unwrap();
+        let extras = cluster.take_extras();
+        for node in 0..4 {
+            assert_eq!(
+                extras.get(&format!("node{node}.jobs")),
+                Some(3.0),
+                "synchronous load reports make least-outstanding exact"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_consumes_and_stale_or_foreign_tickets_are_rejected() {
+        let mut cluster = ClusterBuilder::new(base_session(3), 2).build_sim();
+        let t0 = Executor::submit(&mut cluster, chain_job(0)).unwrap();
+        let t1 = Executor::submit(&mut cluster, chain_job(1)).unwrap();
+        let (id0, session) = (t0.job(), t0.session());
+        assert!(cluster.node_of(&t0).is_some());
+        let s0 = Executor::wait(&mut cluster, t0).unwrap();
+        assert_eq!(s0.id, id0);
+        assert_eq!(s0.tasks, 4);
+        // Only the un-waited job remains for drain, under its cluster id.
+        let rest = cluster.drain().unwrap();
+        assert_eq!(rest.jobs.len(), 1);
+        assert_eq!(rest.jobs[0].id, t1.job());
+        // A consumed id is unknown afterwards…
+        let stale = Ticket::new(session, id0);
+        assert_eq!(
+            Executor::wait(&mut cluster, stale),
+            Err(ExecError::UnknownTicket(id0))
+        );
+        // …and a ticket from a different executor session is rejected.
+        let mut other = ClusterBuilder::new(base_session(3), 2).build_sim();
+        let foreign = Executor::submit(&mut other, chain_job(0)).unwrap();
+        assert_eq!(
+            Executor::wait(&mut cluster, foreign),
+            Err(ExecError::UnknownTicket(JobId(0)))
+        );
+    }
+
+    #[test]
+    fn rejections_surface_with_the_node_detail_and_consume_no_id() {
+        let mut cluster = ClusterBuilder::new(base_session(4), 2).build_sim();
+        let err = Executor::submit(&mut cluster, JobSpec::new(Dag::new("empty"))).unwrap_err();
+        match err {
+            ExecError::Rejected(why) => assert!(why.contains("node"), "{why}"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // The failed submission consumed no cluster id.
+        let ok = Executor::submit(&mut cluster, chain_job(0)).unwrap();
+        assert_eq!(ok.job(), JobId(0));
+        assert_eq!(Executor::wait(&mut cluster, ok).unwrap().tasks, 4);
+    }
+
+    #[test]
+    fn runtime_cluster_executes_real_task_bodies() {
+        let sessions = (0..2)
+            .map(|i| SessionBuilder::new(Arc::new(Topology::symmetric(2)), Policy::Rws).seed(i))
+            .collect();
+        let mut cluster = ClusterBuilder::from_sessions(sessions)
+            .route(RoutePolicy::RoundRobin)
+            .build_runtime();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let mut g = TaskGraph::new("job");
+            let h = Arc::clone(&hits);
+            let root = g.add(
+                TaskTypeId(0),
+                das_core::Priority::Low,
+                move |ctx: &das_runtime::TaskCtx| {
+                    if ctx.rank == 0 {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            );
+            let h = Arc::clone(&hits);
+            let leaf = g.add(
+                TaskTypeId(0),
+                das_core::Priority::High,
+                move |ctx: &das_runtime::TaskCtx| {
+                    if ctx.rank == 0 {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            );
+            g.add_edge(root, leaf);
+            Executor::submit(&mut cluster, JobSpec::new(g)).unwrap();
+        }
+        let stats = cluster.drain().unwrap();
+        assert_eq!(stats.jobs.len(), 4);
+        assert_eq!(stats.tasks, 8);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        let extras = cluster.take_extras();
+        assert_eq!(extras.events, None, "runtime nodes report no sim events");
+        assert!(extras.steals.is_some());
+    }
+
+    #[test]
+    fn repeated_drains_keep_nodes_a_fact_and_counters_counting() {
+        // "nodes" is the cluster size, not a counter: two drain cycles
+        // between take_extras calls must not sum it to 2N — while the
+        // genuine counters (per-node job attribution) do accumulate.
+        let mut cluster = ClusterBuilder::new(base_session(8), 3)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim();
+        for round in 0..2 {
+            for j in 0..6 {
+                Executor::submit(&mut cluster, chain_job(round * 6 + j)).unwrap();
+            }
+            cluster.drain().unwrap();
+        }
+        let extras = cluster.take_extras();
+        assert_eq!(extras.get("nodes"), Some(3.0), "size, not a sum");
+        for node in 0..3 {
+            assert_eq!(
+                extras.get(&format!("node{node}.jobs")),
+                Some(4.0),
+                "attribution accumulates across drains"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_node_batch_loses_its_jobs_without_poisoning_the_cluster() {
+        // A sim node whose batch trips the event budget: the waited job
+        // surfaces `Failed`, its lost siblings disappear (UnknownTicket,
+        // like the bare simulator's failed batch), and the next drain —
+        // which must NOT panic over the never-reported route entries —
+        // returns empty and leaves the cluster serving new jobs.
+        let mut cluster = ClusterBuilder::new(base_session(9), 1).build_with(|_, session| {
+            let mut sim = Simulator::from_session(session);
+            sim.max_events = 5; // far below any real batch
+            sim
+        });
+        let t0 = Executor::submit(&mut cluster, chain_job(0)).unwrap();
+        let t1 = Executor::submit(&mut cluster, chain_job(1)).unwrap();
+        assert!(matches!(
+            Executor::wait(&mut cluster, t0),
+            Err(ExecError::Failed(_))
+        ));
+        let stats = cluster.drain().expect("drain survives the lost batch");
+        assert!(stats.jobs.is_empty(), "failed batch reports no records");
+        assert_eq!(
+            Executor::wait(&mut cluster, t1),
+            Err(ExecError::UnknownTicket(JobId(1))),
+            "lost sibling redeems as unknown, exactly like the bare sim"
+        );
+    }
+
+    #[test]
+    fn drain_failure_diagnostics_name_only_the_failing_node() {
+        // Node 0 is healthy but once rejected an empty graph; node 1
+        // trips its event budget at drain. The drain error must blame
+        // node 1 and must not drag in node 0's long-resolved rejection.
+        let mut cluster = ClusterBuilder::new(base_session(10), 2)
+            .route(RoutePolicy::RoundRobin)
+            .build_with(|i, session| {
+                let mut sim = Simulator::from_session(session);
+                if i == 1 {
+                    sim.max_events = 5;
+                }
+                sim
+            });
+        // Routed to node 0: rejection sets its error slot…
+        assert!(matches!(
+            Executor::submit(&mut cluster, JobSpec::new(Dag::new("empty"))),
+            Err(ExecError::Rejected(_))
+        ));
+        // …then two good submissions (node 1, then node 0 — clearing
+        // node 0's slot on its successful op).
+        Executor::submit(&mut cluster, chain_job(0)).unwrap();
+        Executor::submit(&mut cluster, chain_job(1)).unwrap();
+        match cluster.drain() {
+            Err(ExecError::Failed(why)) => {
+                assert!(why.contains("node 1"), "{why}");
+                assert!(
+                    !why.contains("node 0"),
+                    "stale healthy-node error leaked: {why}"
+                );
+            }
+            other => panic!("expected the budget-tripped drain to fail, got {other:?}"),
+        }
+        // The cluster keeps serving after the failed drain (round-robin
+        // sends the first post-drain job back to the still-crippled
+        // node 1; the next one lands on healthy node 0 and completes).
+        let doomed = Executor::submit(&mut cluster, chain_job(2)).unwrap();
+        let ok = Executor::submit(&mut cluster, chain_job(3)).unwrap();
+        assert_eq!(Executor::wait(&mut cluster, ok).unwrap().tasks, 4);
+        assert!(matches!(
+            Executor::wait(&mut cluster, doomed),
+            Err(ExecError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn drop_with_outstanding_jobs_does_not_hang() {
+        let mut cluster = ClusterBuilder::new(base_session(5), 2).build_sim();
+        for j in 0..3 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        drop(cluster); // pending sim batches are discarded, agents join
+    }
+
+    #[test]
+    fn po2_routing_is_reproducible_across_identical_clusters() {
+        let run = || {
+            let mut cluster = ClusterBuilder::new(base_session(6), 4)
+                .route(RoutePolicy::PowerOfTwo)
+                .route_seed(99)
+                .build_sim();
+            for j in 0..16 {
+                Executor::submit(&mut cluster, chain_job(j)).unwrap();
+            }
+            cluster.drain().unwrap();
+            let extras = cluster.take_extras();
+            (0..4)
+                .map(|n| extras.get(&format!("node{n}.jobs")).unwrap_or(0.0))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.iter().sum::<f64>(), 16.0);
+    }
+}

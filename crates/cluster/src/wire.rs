@@ -1,0 +1,212 @@
+//! Wire format of the cluster control/stats plane.
+//!
+//! `das_msg` payloads are flat `Vec<f64>` (the substrate models MPI
+//! ghost-cell rows), so everything crossing a node boundary — commands,
+//! acknowledgements, job records, extras counters — is encoded into
+//! f64 slots here. All integer fields that transit the wire (job ids,
+//! task counts, error codes) are far below 2^53, so the f64 round-trip
+//! is exact; timestamps are f64 on both sides already, so job records
+//! decode **bit-identically** — the property the 1-node differential
+//! test (`tests/cluster_exec.rs`) pins.
+
+use das_core::exec::{ExecError, ExecExtras};
+use das_core::jobs::{JobClass, JobId, JobStats};
+use das_msg::{Payload, COLLECTIVE_TAG_BASE};
+
+/// Dispatcher → node commands. One command per payload, opcode first.
+pub(crate) const T_CTRL: u32 = 1;
+/// Node → dispatcher command acknowledgements.
+pub(crate) const T_ACK: u32 = 2;
+/// Node → dispatcher unsolicited load reports (`[outstanding_jobs]`),
+/// pushed before every acknowledgement so the dispatcher's routing view
+/// is current by the time a command completes. Collapsed to the newest
+/// report with [`das_msg::Endpoint::try_recv_latest`].
+pub(crate) const T_LOAD: u32 = 3;
+
+// Application tags must stay below the reserved collective block (the
+// drain epilogue runs gather/reduce on the same endpoints).
+const _: () = assert!(T_LOAD < COLLECTIVE_TAG_BASE);
+
+/// The dispatcher's rank. Node `i` is rank `i + 1`.
+pub(crate) const DISPATCHER: usize = 0;
+
+pub(crate) const OP_SUBMIT: f64 = 1.0;
+pub(crate) const OP_WAIT: f64 = 2.0;
+pub(crate) const OP_DRAIN: f64 = 3.0;
+pub(crate) const OP_SHUTDOWN: f64 = 4.0;
+
+pub(crate) const ACK_OK: f64 = 1.0;
+pub(crate) const ACK_ERR: f64 = 0.0;
+
+pub(crate) const ERR_REJECTED: f64 = 1.0;
+pub(crate) const ERR_FAILED: f64 = 2.0;
+pub(crate) const ERR_UNKNOWN_TICKET: f64 = 3.0;
+
+/// f64 slots per encoded [`JobStats`] record.
+pub(crate) const JOB_SLOTS: usize = 8;
+
+/// Encode one completion record into `out` (8 slots appended).
+pub(crate) fn push_job(out: &mut Payload, j: &JobStats) {
+    out.push(j.id.0 as f64);
+    out.push(f64::from(j.class.0));
+    out.push(j.arrival);
+    out.push(j.started);
+    out.push(j.completed);
+    out.push(j.tasks as f64);
+    out.push(if j.deadline.is_some() { 1.0 } else { 0.0 });
+    out.push(j.deadline.unwrap_or(0.0));
+}
+
+/// Encode a batch of records (flat, `JOB_SLOTS` per record).
+pub(crate) fn encode_jobs(jobs: &[JobStats]) -> Payload {
+    let mut out = Payload::with_capacity(jobs.len() * JOB_SLOTS);
+    for j in jobs {
+        push_job(&mut out, j);
+    }
+    out
+}
+
+/// Decode a batch encoded by [`encode_jobs`].
+///
+/// # Panics
+/// Panics if the payload length is not a multiple of [`JOB_SLOTS`]
+/// (a framing bug, never a data condition).
+pub(crate) fn decode_jobs(p: &[f64]) -> Vec<JobStats> {
+    assert!(
+        p.len().is_multiple_of(JOB_SLOTS),
+        "job-record payload misframed: {} slots",
+        p.len()
+    );
+    p.chunks_exact(JOB_SLOTS)
+        .map(|c| JobStats {
+            id: JobId(c[0] as u64),
+            class: JobClass(c[1] as u16),
+            arrival: c[2],
+            started: c[3],
+            completed: c[4],
+            tasks: c[5] as usize,
+            deadline: (c[6] != 0.0).then_some(c[7]),
+        })
+        .collect()
+}
+
+/// f64 slots per encoded [`ExecExtras`].
+pub(crate) const EXTRAS_SLOTS: usize = 5;
+
+/// Encode the typed counters plus the one open value every current
+/// backend emits (`failed_steals`, from `das-sim`). The open extension
+/// map is string-keyed and cannot transit a numeric payload generally;
+/// unknown keys are intentionally left behind on the node — the
+/// cluster's merged extras carry the cross-backend counters plus its
+/// own per-node attribution values.
+pub(crate) fn encode_extras(e: &ExecExtras) -> Payload {
+    vec![
+        if e.steals.is_some() { 1.0 } else { 0.0 },
+        e.steals.unwrap_or(0) as f64,
+        if e.events.is_some() { 1.0 } else { 0.0 },
+        e.events.unwrap_or(0) as f64,
+        e.get("failed_steals").unwrap_or(0.0),
+    ]
+}
+
+/// Decode one node's extras encoded by [`encode_extras`].
+pub(crate) fn decode_extras(p: &[f64]) -> ExecExtras {
+    assert_eq!(p.len(), EXTRAS_SLOTS, "extras payload misframed");
+    let mut e = ExecExtras::default();
+    if p[0] != 0.0 {
+        e.steals = Some(p[1] as u64);
+    }
+    if p[2] != 0.0 {
+        e.events = Some(p[3] as u64);
+    }
+    if p[4] != 0.0 {
+        e.set("failed_steals", p[4]);
+    }
+    e
+}
+
+/// Encode an executor error as an acknowledgement payload.
+pub(crate) fn encode_err(e: &ExecError) -> Payload {
+    match e {
+        ExecError::Rejected(_) => vec![ACK_ERR, ERR_REJECTED],
+        ExecError::Failed(_) => vec![ACK_ERR, ERR_FAILED],
+        ExecError::UnknownTicket(id) => vec![ACK_ERR, ERR_UNKNOWN_TICKET, id.0 as f64],
+    }
+}
+
+/// Decode an error acknowledgement; `detail` is the node's
+/// side-channel error string (same process, so strings need not cross
+/// the payload format).
+pub(crate) fn decode_err(p: &[f64], detail: String) -> ExecError {
+    match p.get(1).copied() {
+        Some(c) if c == ERR_REJECTED => ExecError::Rejected(detail),
+        Some(c) if c == ERR_UNKNOWN_TICKET => {
+            ExecError::UnknownTicket(JobId(p.get(2).copied().unwrap_or(0.0) as u64))
+        }
+        _ => ExecError::Failed(detail),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, deadline: Option<f64>) -> JobStats {
+        JobStats {
+            id: JobId(id),
+            class: JobClass(7),
+            arrival: 0.125,
+            started: 0.25,
+            completed: 1.5,
+            tasks: 42,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn job_records_round_trip_bit_exact() {
+        let jobs = vec![job(0, None), job(1, Some(9.75)), job(u32::MAX as u64, None)];
+        let decoded = decode_jobs(&encode_jobs(&jobs));
+        assert_eq!(decoded, jobs);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        assert!(decode_jobs(&encode_jobs(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "misframed")]
+    fn misframed_records_panic() {
+        decode_jobs(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn extras_round_trip_preserves_absence() {
+        let mut e = ExecExtras::default();
+        e.events = Some(123);
+        e.set("failed_steals", 4.0);
+        let d = decode_extras(&encode_extras(&e));
+        assert_eq!(d.steals, None, "absent stays absent, not Some(0)");
+        assert_eq!(d.events, Some(123));
+        assert_eq!(d.get("failed_steals"), Some(4.0));
+        let zero = decode_extras(&encode_extras(&ExecExtras::default()));
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn errors_round_trip_with_detail() {
+        let e = decode_err(
+            &encode_err(&ExecError::Rejected("x".into())),
+            "empty graph".into(),
+        );
+        assert_eq!(e, ExecError::Rejected("empty graph".into()));
+        let e = decode_err(
+            &encode_err(&ExecError::UnknownTicket(JobId(9))),
+            String::new(),
+        );
+        assert_eq!(e, ExecError::UnknownTicket(JobId(9)));
+        let e = decode_err(&encode_err(&ExecError::Failed("b".into())), "budget".into());
+        assert_eq!(e, ExecError::Failed("budget".into()));
+    }
+}

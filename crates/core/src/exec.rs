@@ -170,6 +170,24 @@ impl ExecExtras {
     pub fn is_empty(&self) -> bool {
         self.steals.is_none() && self.events.is_none() && self.values.is_empty()
     }
+
+    /// Fold another extras record into this one: typed counters and
+    /// extension values add, and a counter absent on both sides stays
+    /// absent (so e.g. `events` does not become `Some(0)` on a backend
+    /// that never reports events). This is how a multi-node tier merges
+    /// per-node reports into one cluster-wide record while keeping
+    /// per-node attribution values it adds under its own names.
+    pub fn absorb(&mut self, other: ExecExtras) {
+        if let Some(s) = other.steals {
+            *self.steals.get_or_insert(0) += s;
+        }
+        if let Some(e) = other.events {
+            *self.events.get_or_insert(0) += e;
+        }
+        for (k, v) in other.values {
+            *self.values.entry(k).or_insert(0.0) += v;
+        }
+    }
 }
 
 /// The single backend-neutral result of executing jobs through the
@@ -667,6 +685,34 @@ mod tests {
         assert!(!e.is_empty());
         let pairs: Vec<_> = e.values().collect();
         assert_eq!(pairs, vec![("failed_steals", 5.0)]);
+    }
+
+    #[test]
+    fn extras_absorb_sums_and_preserves_absence() {
+        let mut a = ExecExtras {
+            steals: Some(3),
+            ..ExecExtras::default()
+        };
+        a.bump("failed_steals", 1.0);
+        let mut b = ExecExtras {
+            steals: Some(4),
+            ..ExecExtras::default()
+        };
+        b.bump("failed_steals", 2.0);
+        b.bump("node1.jobs", 5.0);
+        a.absorb(b);
+        assert_eq!(a.steals, Some(7));
+        assert_eq!(a.events, None, "absent on both sides stays absent");
+        assert_eq!(a.get("failed_steals"), Some(3.0));
+        assert_eq!(a.get("node1.jobs"), Some(5.0));
+        // Absorbing into a counter only one side has starts from zero.
+        let c = ExecExtras {
+            events: Some(10),
+            ..ExecExtras::default()
+        };
+        a.absorb(c);
+        assert_eq!(a.events, Some(10));
+        assert_eq!(a.steals, Some(7));
     }
 
     #[test]

@@ -333,6 +333,39 @@ mod tests {
     }
 
     #[test]
+    fn single_rank_barrier_and_repeated_collectives_never_block() {
+        // A 1-rank communicator must treat every collective (and the
+        // barrier) as an immediate identity, generation after
+        // generation — the shape a 1-node cluster drain epilogue runs.
+        let comm = Communicator::new(1);
+        let e = comm.endpoint(0);
+        for i in 0..10 {
+            e.barrier();
+            let v = e.allreduce(ReduceOp::Sum, vec![i as f64]);
+            assert_eq!(v, vec![i as f64]);
+            let g = e.gather(0, vec![i as f64]).unwrap();
+            assert_eq!(g, vec![vec![i as f64]]);
+        }
+    }
+
+    #[test]
+    fn empty_payload_collectives_round_trip() {
+        // Zero-length vectors are valid collective payloads: a node
+        // with nothing to report still participates (the cluster drain
+        // gathers empty record batches from idle nodes).
+        let got = on_ranks(3, |e| {
+            let g = e.gather(0, Vec::new());
+            let r = e.reduce(0, ReduceOp::Sum, Vec::new());
+            let b = e.broadcast(0, Vec::new());
+            (g, r, b)
+        });
+        let (g, r, b) = got.into_iter().next().unwrap();
+        assert_eq!(g.unwrap(), vec![Vec::<f64>::new(); 3]);
+        assert_eq!(r.unwrap(), Vec::<f64>::new());
+        assert_eq!(b, Vec::<f64>::new());
+    }
+
+    #[test]
     fn single_rank_collectives_are_identities() {
         let got = on_ranks(1, |e| {
             let b = e.broadcast(0, vec![1.0]);

@@ -168,6 +168,21 @@ impl Endpoint {
         Self::take(&mut slots, (src, tag))
     }
 
+    /// Non-blocking receive that collapses a backlog of *idempotent
+    /// state reports*: drains every queued message from `src` with
+    /// `tag` and returns only the newest, or `None` when nothing is
+    /// queued. This is the load-report plumbing of the cluster tier —
+    /// a dispatcher that routed k jobs since its last look wants one
+    /// current outstanding-count per node, not k stale ones.
+    pub fn try_recv_latest(&self, src: usize, tag: u32) -> Option<Payload> {
+        let mbox = &self.shared.boxes[self.rank];
+        let mut slots = mbox.slots.lock();
+        let q = slots.get_mut(&(src, tag))?;
+        let last = q.drain(..).next_back();
+        slots.remove(&(src, tag));
+        last
+    }
+
     fn try_recv_for(&self, src: usize, tag: u32, timeout: Option<Duration>) -> Option<Payload> {
         let mbox = &self.shared.boxes[self.rank];
         let mut slots = mbox.slots.lock();
@@ -409,6 +424,103 @@ mod tests {
                 assert!(last >= 497.0, "({src},{tag}) stream incomplete: {last}");
             }
         }
+    }
+
+    #[test]
+    fn try_recv_latest_collapses_a_report_backlog() {
+        let comm = Communicator::new(2);
+        let a = comm.endpoint(0);
+        let b = comm.endpoint(1);
+        assert_eq!(a.try_recv_latest(1, 5), None, "empty mailbox");
+        for load in 0..4 {
+            b.send(0, 5, vec![f64::from(load)]);
+        }
+        assert_eq!(a.try_recv_latest(1, 5), Some(vec![3.0]), "newest wins");
+        assert_eq!(a.try_recv_latest(1, 5), None, "backlog fully drained");
+        // Other (source, tag) streams are untouched by the collapse.
+        b.send(0, 6, vec![9.0]);
+        b.send(0, 5, vec![7.0]);
+        assert_eq!(a.try_recv_latest(1, 5), Some(vec![7.0]));
+        assert_eq!(a.recv(1, 6), vec![9.0]);
+    }
+
+    #[test]
+    fn empty_payloads_deliver_and_preserve_order() {
+        // A zero-length payload is a legitimate message (a doorbell /
+        // barrier-ish signal), not a dropped one.
+        let comm = Communicator::new(2);
+        let a = comm.endpoint(0);
+        let b = comm.endpoint(1);
+        a.send(1, 0, Vec::new());
+        a.send(1, 0, vec![1.0]);
+        a.send(1, 0, Vec::new());
+        assert_eq!(b.recv(0, 0), Vec::<f64>::new());
+        assert_eq!(b.recv(0, 0), vec![1.0]);
+        assert_eq!(b.try_recv(0, 0), Some(Vec::new()));
+        assert_eq!(b.try_recv(0, 0), None);
+        // Empty sendrecv round-trips too.
+        let h = thread::spawn(move || b.sendrecv(0, 1, Vec::new()));
+        assert_eq!(a.sendrecv(1, 1, Vec::new()), Vec::<f64>::new());
+        assert_eq!(h.join().unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn application_tags_at_the_collective_boundary_do_not_collide() {
+        // The highest legal application tag sits directly below the
+        // reserved collective block; point-to-point traffic there must
+        // not interfere with a concurrent collective (whose internal
+        // tags start exactly at COLLECTIVE_TAG_BASE).
+        let edge = COLLECTIVE_TAG_BASE - 1;
+        let comm = Communicator::new(3);
+        let handles: Vec<_> = comm
+            .endpoints()
+            .into_iter()
+            .map(|e| {
+                thread::spawn(move || {
+                    if e.rank() == 1 {
+                        e.send(0, edge, vec![42.0]);
+                    }
+                    let b = e.broadcast(0, vec![e.rank() as f64]);
+                    let edge_msg = (e.rank() == 0).then(|| e.recv(1, edge));
+                    (b, edge_msg)
+                })
+            })
+            .collect();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (b, _) in &got {
+            assert_eq!(b, &vec![0.0], "broadcast unaffected by edge-tag traffic");
+        }
+        assert_eq!(got[0].1, Some(vec![42.0]), "edge-tag message intact");
+    }
+
+    #[test]
+    fn recv_timeout_expires_empty_but_catches_late_arrivals() {
+        let comm = Communicator::new(2);
+        let a = comm.endpoint(0);
+        let b = comm.endpoint(1);
+        // Plain expiry: no sender, bounded wait, None.
+        let t0 = std::time::Instant::now();
+        assert_eq!(a.recv_timeout(1, 0, Duration::from_millis(30)), None);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "waited the window"
+        );
+        // A message landing inside the window is returned, well before
+        // the (generous) deadline.
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            b.send(0, 0, vec![8.0]);
+        });
+        let t0 = std::time::Instant::now();
+        let got = a.recv_timeout(1, 0, Duration::from_secs(10));
+        assert_eq!(got, Some(vec![8.0]));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "did not sleep out the window"
+        );
+        h.join().unwrap();
+        // After consumption the mailbox is empty again.
+        assert_eq!(a.recv_timeout(1, 0, Duration::from_millis(5)), None);
     }
 
     #[test]

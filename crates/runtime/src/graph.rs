@@ -29,7 +29,7 @@ pub type TaskFn = dyn Fn(&TaskCtx) + Send + Sync;
 ///
 /// Cloning is shallow and cheap: the shape is copied, the bodies are
 /// shared (`Arc` bumps). The persistent worker pool relies on this —
-/// [`crate::Runtime::run`] clones the borrowed graph into an owned
+/// one-shot callers clone a borrowed graph into an owned
 /// [`crate::JobSpec`] for submission.
 #[derive(Clone)]
 pub struct TaskGraph {

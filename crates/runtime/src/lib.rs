@@ -200,7 +200,7 @@ struct StatsInner {
 /// Everything the pool completes for one job.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
-    /// Execution statistics in the shape of [`Runtime::run`]'s result.
+    /// Detailed execution statistics (place histograms, steal count).
     pub rt: RtStats,
     /// Backend-neutral latency record (arrival / start / completion on
     /// the pool clock, seconds since the runtime was created).
@@ -743,22 +743,6 @@ impl Runtime {
         self.shared.wait_drained();
         self.shared.completed.lock().drain()
     }
-
-    /// Execute `graph` to completion on the persistent pool and block
-    /// until its last task commits. Deprecated shim: equivalent to
-    /// `submit(JobSpec::new(graph.clone()))?.wait().rt`, or — backend
-    /// neutrally — to [`Executor::run_dag`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the das_core::exec::Executor façade (run_dag) or submit(..)?.wait().rt"
-    )]
-    pub fn run(&self, graph: &TaskGraph) -> Result<RtStats, DagError> {
-        let handle = self.submit(JobSpec::new(graph.clone()))?;
-        // `wait` consumes the job's drain record, so run()-only callers
-        // (iterative applications issuing thousands of runs) do not
-        // accumulate one JobStats per run forever.
-        Ok(handle.wait().rt)
-    }
 }
 
 /// The backend-neutral executor contract over the threaded worker
@@ -846,7 +830,7 @@ mod tests {
         Runtime::new(Arc::new(Topology::symmetric(cores)), policy)
     }
 
-    /// submit + wait shorthand — what the deprecated `run` shim does.
+    /// submit + wait shorthand for one-shot test graphs.
     fn run(rt: &Runtime, g: &TaskGraph) -> RtStats {
         rt.submit(JobSpec::new(g.clone()))
             .expect("valid graph")
@@ -1155,22 +1139,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the legacy `run` shim itself
-    fn run_consumes_its_own_drain_record() {
-        // run() users never call drain(); their records must not
-        // accumulate in the drain buffer forever.
+    fn waited_one_shots_leave_no_drain_records() {
+        // submit+wait callers (the old `run` shape) never call drain();
+        // their records must not accumulate in the drain buffer forever.
         let runtime = rt(Policy::Rws, 2);
         for _ in 0..10 {
             let mut g = TaskGraph::new("r");
             g.add(TaskTypeId(0), Priority::Low, |_| {});
-            runtime.run(&g).unwrap();
+            run(&runtime, &g);
         }
         assert!(runtime.drain().is_empty());
-        // Mixed usage: submit-jobs still reach drain.
+        // Mixed usage: un-waited submissions still reach drain.
         let mut g = TaskGraph::new("s");
         g.add(TaskTypeId(0), Priority::Low, |_| {});
         let _h = runtime.submit(JobSpec::new(g.clone())).unwrap();
-        runtime.run(&g).unwrap();
+        run(&runtime, &g);
         assert_eq!(runtime.drain().len(), 1);
     }
 

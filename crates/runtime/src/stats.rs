@@ -6,7 +6,7 @@ use std::time::Duration;
 /// `(leader core, width)` histogram key, as in `das-sim`.
 pub type PlaceKey = (usize, usize);
 
-/// Statistics returned by [`crate::Runtime::run`].
+/// Detailed per-run statistics, carried by [`crate::JobOutcome`].
 #[derive(Clone, Debug, Default)]
 pub struct RtStats {
     /// Wall-clock time from first root release to last commit.

@@ -380,35 +380,21 @@ impl Simulator {
         Ok(std::mem::take(&mut self.stats))
     }
 
-    /// Execute an open-loop **job stream** in one batch. Deprecated
-    /// shim over the executor session path: prefer the incremental
-    /// [`Simulator::submit`] / [`Simulator::drain`] (or the
-    /// backend-neutral [`Executor::run_stream`]), which execute the
-    /// identical event sequence — see `tests/executor_contract.rs` and
-    /// the `deprecated_run_stream_matches_the_facade` differential
-    /// test.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Simulator::submit/drain or the das_core::exec::Executor façade"
-    )]
-    pub fn run_stream(&mut self, jobs: &[JobSpec<Dag>]) -> Result<StreamStats, SimError> {
-        self.run_stream_inner(jobs).map(|(stream, _)| stream)
-    }
-
-    /// The batch engine behind both the deprecated [`run_stream`] shim
-    /// and the executor session's [`flush_pending`]: every job's roots
-    /// become ready at its [`JobSpec::arrival`] (an event in the
-    /// simulation heap), so jobs whose executions overlap share the
-    /// cores, the ready queues and the PTT — the multi-tenant regime
-    /// the paper's one-DAG-at-a-time evaluation never reaches. Returns
-    /// per-job completion stats aggregated into a [`StreamStats`],
-    /// plus the batch's [`RunStats`] for the session's extras
-    /// accounting.
+    /// The batch engine behind the executor session's
+    /// [`flush_pending`]: every job's roots become ready at its
+    /// [`JobSpec::arrival`] (an event in the simulation heap), so jobs
+    /// whose executions overlap share the cores, the ready queues and
+    /// the PTT — the multi-tenant regime the paper's one-DAG-at-a-time
+    /// evaluation never reaches. Returns per-job completion stats
+    /// aggregated into a [`StreamStats`], plus the batch's [`RunStats`]
+    /// for the session's extras accounting. (The pre-façade
+    /// `Simulator::run_stream` shim over this engine was removed after
+    /// its one-release deprecation window; `tests/executor_contract.rs`
+    /// pins the façade path instead.)
     ///
     /// The simulated clock restarts at zero (stream start); PTT state
     /// carries over from previous runs, as with [`Simulator::run`].
     ///
-    /// [`run_stream`]: Simulator::run_stream
     /// [`flush_pending`]: Simulator::flush_pending
     fn run_stream_inner(
         &mut self,
@@ -1585,24 +1571,6 @@ mod tests {
         assert!(st.jobs[1].arrival >= st.jobs[0].completed);
         assert!(st.span >= st.jobs[1].completed - st.jobs[0].arrival - 1e-12);
         assert!(st.jobs_per_sec() > 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_stream_matches_the_facade() {
-        // The shim and the incremental session path must execute the
-        // identical event sequence: bit-for-bit equal StreamStats.
-        let jobs: Vec<_> = (0..6)
-            .map(|j| {
-                das_core::jobs::JobSpec::new(generators::layered(TaskTypeId(0), 3, 10))
-                    .at(j as f64 * 5e-4)
-            })
-            .collect();
-        let mut old = sim(Policy::DamC);
-        let a = old.run_stream(&jobs).unwrap();
-        let mut new = sim(Policy::DamC);
-        let b = drain_stream(&mut new, &jobs).unwrap();
-        assert_eq!(a, b);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! * [`sim`] — discrete-event simulator (figure reproduction);
 //! * [`runtime`] — real threaded XiTAO-like runtime;
 //! * [`workloads`] — kernels, K-means, 2-D heat;
-//! * [`msg`] — in-process message passing.
+//! * [`msg`] — in-process message passing;
+//! * [`cluster`] — sharded multi-node tier over the executor contract.
 
+pub use das_cluster as cluster;
 pub use das_core as core;
 /// The backend-neutral executor contract (`das_core::exec`): the
 /// [`Executor`](das_core::exec::Executor) trait, the

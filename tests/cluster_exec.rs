@@ -1,0 +1,178 @@
+//! The cluster-tier differential harness (the acceptance tests of the
+//! das-cluster subsystem):
+//!
+//! * a **1-node sim cluster is bit-identical to a bare `Simulator`
+//!   session** built from the same `SessionBuilder` — the dispatcher,
+//!   the message-layer control plane and the wire round-trip add
+//!   nothing and lose nothing;
+//! * an **N-node sim cluster under a fixed seed is bit-reproducible
+//!   across runs and completes the same job set as the merged
+//!   single-node baseline**, for every `RoutePolicy` (per-node
+//!   determinism + seeded routing ⇒ cluster determinism);
+//! * the cluster satisfies the same generic `Executor` contract checks
+//!   every backend satisfies (it *is* a backend), including on
+//!   `das-runtime` nodes.
+
+use das::cluster::{ClusterBuilder, RoutePolicy};
+use das::core::jobs::{JobId, JobSpec};
+use das::core::Policy;
+use das::dag::Dag;
+use das::exec::{ExecError, ExecReport, Executor, SessionBuilder, Ticket};
+use das::runtime::TaskGraph;
+use das::sim::Simulator;
+use das::topology::Topology;
+use das::workloads::arrivals::{JobShape, StreamConfig};
+use std::sync::Arc;
+
+/// The seeded stream every section executes.
+fn stream() -> Vec<JobSpec<Dag>> {
+    StreamConfig::poisson(42, 14, 250.0)
+        .shape(JobShape::Mixed {
+            parallelism: 4,
+            layers: 6,
+        })
+        .slack(30.0)
+        .generate()
+}
+
+fn base_session(seed: u64) -> SessionBuilder {
+    SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC).seed(seed)
+}
+
+#[test]
+fn one_node_sim_cluster_is_bit_identical_to_a_bare_simulator_session() {
+    let jobs = stream();
+
+    let mut bare = Simulator::from_session(&base_session(7));
+    let bare_report = Executor::run_stream(&mut bare, jobs.clone()).expect("bare stream");
+
+    let mut cluster = ClusterBuilder::new(base_session(7), 1).build_sim();
+    let cluster_report = cluster.run_stream(jobs).expect("cluster stream");
+
+    // Per-job records and stream aggregates: bit for bit, including
+    // every timestamp (the wire format is f64 end to end).
+    assert_eq!(cluster_report.jobs, bare_report.jobs);
+    // The cross-backend counters survive the merge unchanged; the
+    // cluster adds only its own attribution values on top.
+    assert_eq!(cluster_report.extras.steals, bare_report.extras.steals);
+    assert_eq!(cluster_report.extras.events, bare_report.extras.events);
+    assert_eq!(
+        cluster_report.extras.get("failed_steals"),
+        bare_report.extras.get("failed_steals")
+    );
+    assert_eq!(cluster_report.extras.get("nodes"), Some(1.0));
+    assert_eq!(
+        cluster_report.extras.get("node0.jobs"),
+        Some(bare_report.jobs.jobs.len() as f64)
+    );
+    assert_eq!(cluster_report.backend, "das-cluster");
+}
+
+#[test]
+fn n_node_sim_cluster_is_reproducible_and_completes_the_baseline_job_set() {
+    let jobs = stream();
+
+    // The merged single-node baseline: every job through one bare
+    // simulator session.
+    let mut bare = Simulator::from_session(&base_session(11));
+    let baseline = Executor::run_stream(&mut bare, jobs.clone()).expect("baseline stream");
+
+    for policy in RoutePolicy::ALL {
+        let run = || -> ExecReport {
+            let mut cluster = ClusterBuilder::new(base_session(11), 4)
+                .route(policy)
+                .route_seed(99)
+                .build_sim();
+            cluster.run_stream(jobs.clone()).expect("cluster stream")
+        };
+        let a = run();
+        let b = run();
+        // Bit-reproducible end to end: records, aggregates AND the
+        // merged extras (which embed the per-node routing counts).
+        assert_eq!(a, b, "{policy:?} not reproducible");
+
+        // Same job set as the baseline: dense cluster ids in submission
+        // order, and — since routing never rewrites a spec — the same
+        // per-job task counts, job for job.
+        assert_eq!(a.jobs.jobs.len(), baseline.jobs.jobs.len(), "{policy:?}");
+        assert_eq!(a.tasks(), baseline.tasks(), "{policy:?}");
+        for (c, s) in a.jobs.jobs.iter().zip(&baseline.jobs.jobs) {
+            assert_eq!(c.id, s.id, "{policy:?}");
+            assert_eq!(c.tasks, s.tasks, "{policy:?}");
+            assert_eq!(c.class, s.class, "{policy:?}");
+            assert!(
+                c.completed >= c.started && c.started >= c.arrival,
+                "{policy:?}"
+            );
+        }
+        // Every job was routed somewhere: attribution sums to the set.
+        assert_eq!(a.extras.get("nodes"), Some(4.0), "{policy:?}");
+        let routed: f64 = (0..4)
+            .map(|n| a.extras.get(&format!("node{n}.jobs")).unwrap_or(0.0))
+            .sum();
+        assert_eq!(routed as usize, jobs.len(), "{policy:?}");
+        // Round-robin provably shards across all nodes on this stream.
+        if policy == RoutePolicy::RoundRobin {
+            for n in 0..4 {
+                assert!(
+                    a.extras.get(&format!("node{n}.jobs")).unwrap_or(0.0) > 0.0,
+                    "round-robin left node {n} idle"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_ticket_lifecycle_matches_the_executor_contract() {
+    let jobs = stream();
+    let n = jobs.len();
+    let mut cluster = ClusterBuilder::new(base_session(5), 3)
+        .route(RoutePolicy::RoundRobin)
+        .build_sim();
+    let mut tickets: Vec<Ticket> = jobs
+        .into_iter()
+        .map(|spec| cluster.submit(spec).expect("accepted"))
+        .collect();
+    let picked = tickets.remove(1);
+    let (picked_id, session) = (picked.job(), picked.session());
+    let stats = cluster.wait(picked).expect("waited job completes");
+    assert_eq!(stats.id, picked_id);
+    // The waited record is consumed; the rest drain in id order.
+    let rest = cluster.drain().expect("drain completes");
+    assert_eq!(rest.jobs.len(), n - 1);
+    let drained: Vec<JobId> = rest.jobs.iter().map(|j| j.id).collect();
+    let expected: Vec<JobId> = tickets.iter().map(Ticket::job).collect();
+    assert_eq!(drained, expected);
+    // Stale tickets are rejected with the cluster job id preserved.
+    let stale = Ticket::new(session, picked_id);
+    assert_eq!(
+        cluster.wait(stale),
+        Err(ExecError::UnknownTicket(picked_id))
+    );
+    // An idle cluster drains empty.
+    assert!(cluster.drain().expect("empty drain").jobs.is_empty());
+}
+
+#[test]
+fn runtime_cluster_completes_the_same_stream_through_the_same_client() {
+    // The point of the tier: the identical generic client drives a
+    // fleet of threaded worker pools with zero changes.
+    let jobs = stream();
+    let rt_jobs: Vec<JobSpec<TaskGraph>> = jobs.iter().map(TaskGraph::noop_job_from_dag).collect();
+    let sizes: Vec<usize> = jobs.iter().map(|s| s.graph.len()).collect();
+    let sessions = (0..2)
+        .map(|i| SessionBuilder::new(Arc::new(Topology::symmetric(2)), Policy::DamC).seed(i))
+        .collect();
+    let mut cluster = ClusterBuilder::from_sessions(sessions).build_runtime();
+    let report = cluster.run_stream(rt_jobs).expect("runtime cluster stream");
+    assert_eq!(report.jobs.jobs.len(), sizes.len());
+    for (j, stats) in report.jobs.jobs.iter().enumerate() {
+        assert_eq!(stats.id, JobId(j as u64));
+        assert_eq!(stats.tasks, sizes[j]);
+        assert!(stats.completed >= stats.started && stats.started >= stats.arrival);
+    }
+    assert_eq!(report.tasks(), sizes.iter().sum::<usize>());
+    assert_eq!(report.events(), None, "runtime nodes report no sim events");
+    assert!(report.steals().is_some());
+}

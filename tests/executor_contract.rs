@@ -14,8 +14,7 @@
 //!   `UnknownTicket`; `drain` returns exactly the un-waited rest;
 //! * under one worker, serialised (non-overlapping) jobs complete in
 //!   submission order on both backends;
-//! * the simulator side is bit-reproducible through the façade, and
-//!   equals the deprecated pre-merged `run_stream` batch.
+//! * the simulator side is bit-reproducible through the façade.
 
 use das::core::jobs::{JobId, JobSpec, JobStats};
 use das::core::Policy;
@@ -223,7 +222,7 @@ fn serialised_jobs_complete_in_submission_order_under_one_worker() {
 }
 
 #[test]
-fn sim_facade_is_bit_reproducible_and_matches_the_deprecated_batch() {
+fn sim_facade_is_bit_reproducible() {
     let jobs = stream();
     let run = || {
         let mut sim = sim_exec(Policy::DamC, 7);
@@ -233,13 +232,6 @@ fn sim_facade_is_bit_reproducible_and_matches_the_deprecated_batch() {
     let b = run();
     // Full structural equality, extras included — bit for bit.
     assert_eq!(a, b);
-
-    // And the façade's per-job records equal the deprecated pre-merged
-    // batch path, which stays shimmed for one PR.
-    #[allow(deprecated)]
-    let legacy = Simulator::run_stream(&mut sim_exec(Policy::DamC, 7), &jobs)
-        .expect("legacy batch completes");
-    assert_eq!(a.jobs, legacy);
 }
 
 #[test]
