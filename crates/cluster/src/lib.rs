@@ -96,8 +96,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use wire::{
-    ACK_OK, DISPATCHER, ERR_UNKNOWN_TICKET, OP_DRAIN, OP_SHUTDOWN, OP_SUBMIT, OP_WAIT, T_ACK,
-    T_CTRL, T_LOAD,
+    ACK_OK, DISPATCHER, ERR_UNKNOWN_TICKET, OP_DRAIN, OP_SHUTDOWN, OP_SUBMIT, OP_SUBMIT_MANY,
+    OP_WAIT, T_ACK, T_CTRL, T_LOAD,
 };
 
 /// Builds a [`Cluster`]: per-node sessions, routing policy, route seed.
@@ -190,6 +190,15 @@ impl ClusterBuilder {
         F: FnMut(usize, &SessionBuilder) -> E,
     {
         let n = self.sessions.len();
+        // Per-node admission bounds, from each session's knob: the
+        // dispatcher sheds at these bounds *before* any wire traffic,
+        // and the node executors (built from the same sessions)
+        // enforce the identical bound behind it.
+        let limits: Vec<f64> = self
+            .sessions
+            .iter()
+            .map(|s| s.max_outstanding.map_or(f64::INFINITY, |l| l as f64))
+            .collect();
         let comm = Communicator::new(n + 1);
         let mut nodes = Vec::with_capacity(n);
         let mut agents = Vec::with_capacity(n);
@@ -215,6 +224,7 @@ impl ClusterBuilder {
             rng: SmallRng::seed_from_u64(self.route_seed),
             rr: 0,
             loads: vec![0.0; n],
+            limits,
             route: HashMap::new(),
             next_job: 0,
             exec_session: session_tag(),
@@ -251,6 +261,9 @@ pub struct Cluster<G> {
     /// Last load report per node (outstanding jobs), fed exclusively by
     /// `T_LOAD` messages.
     loads: Vec<f64>,
+    /// Per-node admission bound (`f64::INFINITY` when unbounded),
+    /// from each node session's `max_outstanding`.
+    limits: Vec<f64>,
     /// Cluster job id → node placement, for every submitted job not yet
     /// waited or drained.
     route: HashMap<u64, NodeRoute>,
@@ -294,6 +307,33 @@ impl<G> Cluster<G> {
         }
     }
 
+    /// Wire messages this dispatcher has sent, ever — the traffic the
+    /// batch path amortises. One `submit` costs one control message; a
+    /// [`Executor::submit_many`] batch costs one control message **per
+    /// node with a non-empty sub-batch** regardless of batch size (the
+    /// contract `tests/cluster_exec.rs` asserts).
+    pub fn wire_messages_sent(&self) -> u64 {
+        self.ep.sent_count()
+    }
+
+    /// The typed overload error for a shed decision, attributing the
+    /// pressure to the full node(s): their reported outstanding counts
+    /// and bounds, summed. For a full single pick these are that node's
+    /// numbers; when every node is full (`LoadShed`) it is the
+    /// cluster-wide pressure. Only full nodes enter the sums, so the
+    /// casts are finite.
+    fn overloaded(&self) -> ExecError {
+        let (outstanding, limit) = self
+            .loads
+            .iter()
+            .zip(&self.limits)
+            .filter(|(load, limit)| *load >= *limit)
+            .fold((0usize, 0usize), |(o, l), (load, limit)| {
+                (o + *load as usize, l + *limit as usize)
+            });
+        ExecError::Overloaded { outstanding, limit }
+    }
+
     /// The node's side-channel error string (set before every error
     /// acknowledgement).
     fn node_error(&self, node: usize) -> String {
@@ -319,7 +359,14 @@ impl<G> Executor for Cluster<G> {
     /// cluster (rejected jobs consume no id, as on the bare backends).
     fn submit(&mut self, spec: JobSpec<G>) -> Result<Ticket, ExecError> {
         self.refresh_loads();
-        let node = route::pick(self.policy, &self.loads, &mut self.rr, &mut self.rng);
+        let node = route::pick(
+            self.policy,
+            &self.loads,
+            &self.limits,
+            &mut self.rr,
+            &mut self.rng,
+        )
+        .ok_or_else(|| self.overloaded())?;
         self.nodes[node]
             .tx
             .send(spec)
@@ -334,6 +381,116 @@ impl<G> Executor for Cluster<G> {
         self.next_job += 1;
         self.route.insert(id.0, NodeRoute { node, local });
         Ok(Ticket::new(self.exec_session, id))
+    }
+
+    /// Route a whole batch, then send **one wire message per node with
+    /// a non-empty sub-batch** instead of one per job — the per-message
+    /// fixed costs (doorbell, ack round-trip) amortise over the batch.
+    ///
+    /// Routing is bit-identical to an equivalent loop of `submit`: each
+    /// job is picked in batch order against a load view updated
+    /// *locally* after every assignment — exactly the `+1` the node's
+    /// synchronous `T_LOAD` report would have applied between two
+    /// looped submissions (nothing else moves the count between the
+    /// two). Cluster ids are dense in batch order.
+    ///
+    /// On a shed decision mid-batch nothing is admitted (local view
+    /// rolled back, error returned). A node *rejecting* its sub-batch
+    /// admits nothing on that node (backend batches are atomic on
+    /// validation), but the sub-batches of other nodes remain admitted
+    /// and surface in the next drain — their tickets are lost with the
+    /// error, exactly like a failed batch on the bare backends.
+    fn submit_many(&mut self, specs: Vec<JobSpec<G>>) -> Result<Vec<Ticket>, ExecError> {
+        if specs.is_empty() {
+            return Err(ExecError::Rejected("empty batch".into()));
+        }
+        self.refresh_loads();
+        // Phase 1: route every job against the locally-updated view.
+        let mut assignment = Vec::with_capacity(specs.len());
+        for _ in &specs {
+            match route::pick(
+                self.policy,
+                &self.loads,
+                &self.limits,
+                &mut self.rr,
+                &mut self.rng,
+            ) {
+                Some(node) => {
+                    self.loads[node] += 1.0;
+                    assignment.push(node);
+                }
+                None => {
+                    let err = self.overloaded();
+                    for &node in &assignment {
+                        self.loads[node] -= 1.0;
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        // Phase 2: per-node sub-batches (batch order within each node),
+        // one side-channel transfer per job, ONE control message per
+        // node.
+        let n = self.nodes.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (pos, &node) in assignment.iter().enumerate() {
+            groups[node].push(pos);
+        }
+        let mut slots: Vec<Option<JobSpec<G>>> = specs.into_iter().map(Some).collect();
+        let mut doorbelled = vec![false; n];
+        let mut first_err: Option<ExecError> = None;
+        for (node, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let fed = group.iter().all(|&pos| {
+                let spec = slots[pos].take().expect("each slot moves once");
+                self.nodes[node].tx.send(spec).is_ok()
+            });
+            if !fed {
+                // Dead agent: no doorbell (nothing will drain the side
+                // channel), the sub-batch is simply lost.
+                first_err.get_or_insert_with(|| ExecError::Failed(format!("node {node} is down")));
+                continue;
+            }
+            self.ep.send(
+                Self::rank(node),
+                T_CTRL,
+                vec![OP_SUBMIT_MANY, group.len() as f64],
+            );
+            doorbelled[node] = true;
+        }
+        // Phase 3: collect one batch ack per doorbelled node (node
+        // order; the agents work concurrently regardless).
+        let mut locals: Vec<std::collections::VecDeque<u64>> = vec![Default::default(); n];
+        for node in 0..n {
+            if !doorbelled[node] {
+                continue;
+            }
+            let ack = self.ep.recv(Self::rank(node), T_ACK);
+            if ack.first() == Some(&ACK_OK) {
+                let k = ack[1] as usize;
+                debug_assert_eq!(k, groups[node].len());
+                locals[node] = ack[2..2 + k].iter().map(|&v| v as u64).collect();
+            } else {
+                first_err.get_or_insert_with(|| wire::decode_err(&ack, self.node_error(node)));
+            }
+        }
+        // Phase 4: cluster ids, dense in batch order over the admitted
+        // jobs (a rejected sub-batch consumes no ids).
+        let mut tickets = Vec::with_capacity(assignment.len());
+        for &node in &assignment {
+            if let Some(local) = locals[node].pop_front() {
+                let id = JobId(self.next_job);
+                self.next_job += 1;
+                self.route.insert(id.0, NodeRoute { node, local });
+                tickets.push(Ticket::new(self.exec_session, id));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(tickets),
+        }
     }
 
     /// Redeem a ticket against the node its job was routed to; the
@@ -521,6 +678,34 @@ fn node_agent<E: Executor>(
                     tickets.insert(local, ticket);
                     outstanding += 1.0;
                     vec![ACK_OK, local as f64]
+                }
+                Err(p) => p,
+            };
+            ep.send(DISPATCHER, T_LOAD, vec![outstanding]);
+            ep.send(DISPATCHER, T_ACK, reply);
+        } else if op == OP_SUBMIT_MANY {
+            // One doorbell for a k-job sub-batch; the specs arrived on
+            // the side channel in batch order.
+            let k = cmd.get(1).copied().unwrap_or(0.0) as usize;
+            let mut specs = Vec::with_capacity(k);
+            for _ in 0..k {
+                let Ok(spec) = inbox.recv() else { return };
+                specs.push(spec);
+            }
+            // The backend batch is atomic on validation: on error the
+            // node admits nothing and the count is untouched.
+            let reply = match run_op(&errs, || exec.submit_many(specs)) {
+                Ok(batch) => {
+                    let mut p = Vec::with_capacity(2 + batch.len());
+                    p.push(ACK_OK);
+                    p.push(batch.len() as f64);
+                    for ticket in batch {
+                        let local = ticket.job().0;
+                        p.push(local as f64);
+                        tickets.insert(local, ticket);
+                        outstanding += 1.0;
+                    }
+                    p
                 }
                 Err(p) => p,
             };

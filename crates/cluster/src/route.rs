@@ -9,6 +9,13 @@
 //! view is exact by the time the next routing decision runs, which is
 //! what makes [`RoutePolicy::LeastOutstanding`] and
 //! [`RoutePolicy::PowerOfTwo`] deterministic for the simulator backend.
+//!
+//! With per-node admission bounds (`SessionBuilder::max_outstanding`),
+//! every decision is also checked against the node's bound: a full pick
+//! returns `None` and the dispatcher sheds the job with
+//! `ExecError::Overloaded`. [`RoutePolicy::LoadShed`] goes further and
+//! *routes around* fullness — it never selects a full node while a
+//! non-full node exists.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -27,14 +34,21 @@ pub enum RoutePolicy {
     /// decision with near-least-outstanding balance — the classic
     /// load-balancing result, and the default.
     PowerOfTwo,
+    /// Least-outstanding restricted to nodes *below their admission
+    /// bound*: the overload-aware policy. While any node has a free
+    /// slot the job routes there (ties to the lowest id); only when
+    /// every node is full does the dispatcher shed. Identical to
+    /// [`RoutePolicy::LeastOutstanding`] when no bound is configured.
+    LoadShed,
 }
 
 impl RoutePolicy {
     /// Every policy, for sweeps and differential tests.
-    pub const ALL: [RoutePolicy; 3] = [
+    pub const ALL: [RoutePolicy; 4] = [
         RoutePolicy::RoundRobin,
         RoutePolicy::LeastOutstanding,
         RoutePolicy::PowerOfTwo,
+        RoutePolicy::LoadShed,
     ];
 
     /// Short stable name for reports.
@@ -43,52 +57,64 @@ impl RoutePolicy {
             RoutePolicy::RoundRobin => "round-robin",
             RoutePolicy::LeastOutstanding => "least-out",
             RoutePolicy::PowerOfTwo => "po2",
+            RoutePolicy::LoadShed => "load-shed",
         }
     }
 }
 
-/// One routing decision. `loads[i]` is node `i`'s last reported
-/// outstanding-job count; `rr` is the round-robin cursor (advanced by
-/// the caller's borrow).
+/// One routing decision, or `None` to shed the job. `loads[i]` is node
+/// `i`'s last reported outstanding-job count and `limits[i]` its
+/// admission bound (`f64::INFINITY` when unbounded); `rr` is the
+/// round-robin cursor (advanced by the caller's borrow).
+///
+/// Non-shedding policies pick exactly as they always did — limits never
+/// bend the choice, they only turn a full pick into `None` (so the
+/// rejection is attributable to the picked node, and the decision
+/// sequence with and without bounds is identical). `LoadShed` instead
+/// restricts the candidate set to non-full nodes.
 pub(crate) fn pick(
     policy: RoutePolicy,
     loads: &[f64],
+    limits: &[f64],
     rr: &mut usize,
     rng: &mut SmallRng,
-) -> usize {
+) -> Option<usize> {
     let n = loads.len();
-    debug_assert!(n > 0);
-    match policy {
+    debug_assert!(n > 0 && limits.len() == n);
+    let full = |i: usize| loads[i] >= limits[i];
+    let node = match policy {
         RoutePolicy::RoundRobin => {
             let node = *rr % n;
             *rr = (*rr + 1) % n;
             node
         }
-        RoutePolicy::LeastOutstanding => argmin(loads, 0..n),
+        RoutePolicy::LeastOutstanding => argmin(loads, 0..n)?,
         RoutePolicy::PowerOfTwo => {
             if n == 1 {
-                return 0;
+                0
+            } else {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                argmin(loads, [a.min(b), a.max(b)])?
             }
-            let a = rng.gen_range(0..n);
-            let mut b = rng.gen_range(0..n - 1);
-            if b >= a {
-                b += 1;
-            }
-            argmin(loads, [a.min(b), a.max(b)])
         }
-    }
+        RoutePolicy::LoadShed => return argmin(loads, (0..n).filter(|&i| !full(i))),
+    };
+    (!full(node)).then_some(node)
 }
 
-/// Index of the smallest load among `candidates`, first (lowest id)
-/// wins ties.
-fn argmin(loads: &[f64], candidates: impl IntoIterator<Item = usize>) -> usize {
+/// Index of the smallest load among `candidates` (first/lowest id wins
+/// ties), or `None` for an empty candidate set.
+fn argmin(loads: &[f64], candidates: impl IntoIterator<Item = usize>) -> Option<usize> {
     candidates
         .into_iter()
         .fold(None, |best: Option<usize>, i| match best {
             Some(b) if loads[b] <= loads[i] => Some(b),
             _ => Some(i),
         })
-        .expect("at least one candidate")
 }
 
 #[cfg(test)]
@@ -96,15 +122,26 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    const NO_LIMIT: [f64; 8] = [f64::INFINITY; 8];
+
     #[test]
     fn round_robin_cycles() {
         let loads = [5.0, 0.0, 0.0];
         let mut rr = 0;
         let mut rng = SmallRng::seed_from_u64(1);
-        let picks: Vec<usize> = (0..6)
-            .map(|_| pick(RoutePolicy::RoundRobin, &loads, &mut rr, &mut rng))
+        let picks: Vec<Option<usize>> = (0..6)
+            .map(|_| {
+                pick(
+                    RoutePolicy::RoundRobin,
+                    &loads,
+                    &NO_LIMIT[..3],
+                    &mut rr,
+                    &mut rng,
+                )
+            })
             .collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2], "load-oblivious cycle");
+        let expected: Vec<Option<usize>> = [0, 1, 2, 0, 1, 2].map(Some).to_vec();
+        assert_eq!(picks, expected, "load-oblivious cycle");
     }
 
     #[test]
@@ -114,10 +151,11 @@ mod tests {
         let node = pick(
             RoutePolicy::LeastOutstanding,
             &[3.0, 1.0, 1.0, 2.0],
+            &NO_LIMIT[..4],
             &mut rr,
             &mut rng,
         );
-        assert_eq!(node, 1);
+        assert_eq!(node, Some(1));
     }
 
     #[test]
@@ -127,11 +165,26 @@ mod tests {
         let mut rr = 0;
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..50 {
-            let node = pick(RoutePolicy::PowerOfTwo, &[100.0, 0.0], &mut rr, &mut rng);
-            assert_eq!(node, 1);
+            let node = pick(
+                RoutePolicy::PowerOfTwo,
+                &[100.0, 0.0],
+                &NO_LIMIT[..2],
+                &mut rr,
+                &mut rng,
+            );
+            assert_eq!(node, Some(1));
         }
         // Single node: always 0, no RNG draw needed.
-        assert_eq!(pick(RoutePolicy::PowerOfTwo, &[9.0], &mut rr, &mut rng), 0);
+        assert_eq!(
+            pick(
+                RoutePolicy::PowerOfTwo,
+                &[9.0],
+                &NO_LIMIT[..1],
+                &mut rr,
+                &mut rng
+            ),
+            Some(0)
+        );
     }
 
     #[test]
@@ -140,11 +193,82 @@ mod tests {
             let mut rr = 0;
             let mut rng = SmallRng::seed_from_u64(seed);
             (0..32)
-                .map(|_| pick(RoutePolicy::PowerOfTwo, &[0.0; 8], &mut rr, &mut rng))
+                .map(|_| {
+                    pick(
+                        RoutePolicy::PowerOfTwo,
+                        &[0.0; 8],
+                        &NO_LIMIT,
+                        &mut rr,
+                        &mut rng,
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43), "different seeds explore differently");
+    }
+
+    #[test]
+    fn full_picks_shed_without_bending_the_decision() {
+        // Non-shedding policies pick the same node with or without
+        // bounds; a bound only turns the full pick into None.
+        let loads = [2.0, 5.0, 1.0];
+        let limits = [8.0, 8.0, 1.0]; // node 2 is exactly full
+        let mut rr = 0;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            pick(
+                RoutePolicy::LeastOutstanding,
+                &loads,
+                &limits,
+                &mut rr,
+                &mut rng
+            ),
+            None,
+            "least-outstanding still picks node 2 and node 2 is full"
+        );
+        // Round-robin: the cursor advances even across a shed decision.
+        let limits = [8.0, 0.0, 8.0];
+        let picks: Vec<Option<usize>> = (0..3)
+            .map(|_| pick(RoutePolicy::RoundRobin, &loads, &limits, &mut rr, &mut rng))
+            .collect();
+        assert_eq!(picks, vec![Some(0), None, Some(2)]);
+    }
+
+    #[test]
+    fn load_shed_routes_around_full_nodes_and_sheds_only_when_all_full() {
+        let mut rr = 0;
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Node 1 is the global minimum but full: LoadShed avoids it.
+        let loads = [4.0, 0.0, 6.0];
+        let limits = [10.0, 0.0, 10.0];
+        assert_eq!(
+            pick(RoutePolicy::LoadShed, &loads, &limits, &mut rr, &mut rng),
+            Some(0),
+            "least-loaded among non-full nodes"
+        );
+        // All full: shed.
+        assert_eq!(
+            pick(
+                RoutePolicy::LoadShed,
+                &loads,
+                &[4.0, 0.0, 6.0],
+                &mut rr,
+                &mut rng
+            ),
+            None
+        );
+        // No bounds: identical to LeastOutstanding.
+        assert_eq!(
+            pick(
+                RoutePolicy::LoadShed,
+                &loads,
+                &NO_LIMIT[..3],
+                &mut rr,
+                &mut rng
+            ),
+            Some(1)
+        );
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub(crate) const OP_SUBMIT: f64 = 1.0;
 pub(crate) const OP_WAIT: f64 = 2.0;
 pub(crate) const OP_DRAIN: f64 = 3.0;
 pub(crate) const OP_SHUTDOWN: f64 = 4.0;
+/// Batch submission: the command payload is `[OP_SUBMIT_MANY, k]` for a
+/// `k`-job sub-batch (the specs travel over the same in-process spec
+/// channel as `OP_SUBMIT`, `k` of them). One wire message carries the
+/// whole sub-batch — the amortisation the batch ingress path exists
+/// for. The success ack is `[ACK_OK, k, local_0, .., local_{k-1}]`:
+/// the node-local job ids of the admitted batch, in sub-batch order.
+pub(crate) const OP_SUBMIT_MANY: f64 = 5.0;
 
 pub(crate) const ACK_OK: f64 = 1.0;
 pub(crate) const ACK_ERR: f64 = 0.0;
@@ -41,6 +48,9 @@ pub(crate) const ACK_ERR: f64 = 0.0;
 pub(crate) const ERR_REJECTED: f64 = 1.0;
 pub(crate) const ERR_FAILED: f64 = 2.0;
 pub(crate) const ERR_UNKNOWN_TICKET: f64 = 3.0;
+/// Admission-bound rejection; payload carries `[.., outstanding,
+/// limit]` so the typed error reconstructs exactly.
+pub(crate) const ERR_OVERLOADED: f64 = 4.0;
 
 /// f64 slots per encoded [`JobStats`] record.
 pub(crate) const JOB_SLOTS: usize = 8;
@@ -131,6 +141,9 @@ pub(crate) fn encode_err(e: &ExecError) -> Payload {
         ExecError::Rejected(_) => vec![ACK_ERR, ERR_REJECTED],
         ExecError::Failed(_) => vec![ACK_ERR, ERR_FAILED],
         ExecError::UnknownTicket(id) => vec![ACK_ERR, ERR_UNKNOWN_TICKET, id.0 as f64],
+        ExecError::Overloaded { outstanding, limit } => {
+            vec![ACK_ERR, ERR_OVERLOADED, *outstanding as f64, *limit as f64]
+        }
     }
 }
 
@@ -143,6 +156,10 @@ pub(crate) fn decode_err(p: &[f64], detail: String) -> ExecError {
         Some(c) if c == ERR_UNKNOWN_TICKET => {
             ExecError::UnknownTicket(JobId(p.get(2).copied().unwrap_or(0.0) as u64))
         }
+        Some(c) if c == ERR_OVERLOADED => ExecError::Overloaded {
+            outstanding: p.get(2).copied().unwrap_or(0.0) as usize,
+            limit: p.get(3).copied().unwrap_or(0.0) as usize,
+        },
         _ => ExecError::Failed(detail),
     }
 }
@@ -208,5 +225,20 @@ mod tests {
         assert_eq!(e, ExecError::UnknownTicket(JobId(9)));
         let e = decode_err(&encode_err(&ExecError::Failed("b".into())), "budget".into());
         assert_eq!(e, ExecError::Failed("budget".into()));
+        // The typed overload fields survive the numeric payload.
+        let e = decode_err(
+            &encode_err(&ExecError::Overloaded {
+                outstanding: 64,
+                limit: 64,
+            }),
+            String::new(),
+        );
+        assert_eq!(
+            e,
+            ExecError::Overloaded {
+                outstanding: 64,
+                limit: 64
+            }
+        );
     }
 }

@@ -116,6 +116,18 @@ pub enum ExecError {
     /// it was already waited, drained away, or belongs to another
     /// executor.
     UnknownTicket(JobId),
+    /// Admission control refused the job: the backend (or the target
+    /// node) already holds `outstanding` jobs against a configured
+    /// bound of `limit` ([`SessionBuilder::max_outstanding`]). Nothing
+    /// was enqueued; the client should shed load or `drain` and retry.
+    /// Unlike [`ExecError::Rejected`] this is a *transient* condition —
+    /// the job itself is fine.
+    Overloaded {
+        /// Jobs currently held against the bound.
+        outstanding: usize,
+        /// The configured bound that was hit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -124,6 +136,12 @@ impl fmt::Display for ExecError {
             ExecError::Rejected(why) => write!(f, "job rejected: {why}"),
             ExecError::Failed(why) => write!(f, "execution failed: {why}"),
             ExecError::UnknownTicket(id) => write!(f, "unknown ticket: {id}"),
+            ExecError::Overloaded { outstanding, limit } => {
+                write!(
+                    f,
+                    "overloaded: {outstanding} outstanding jobs (limit {limit})"
+                )
+            }
         }
     }
 }
@@ -297,6 +315,38 @@ pub trait Executor {
     /// Accept a job for execution; returns the ticket to `wait` on.
     fn submit(&mut self, spec: JobSpec<Self::Graph>) -> Result<Ticket, ExecError>;
 
+    /// Accept a whole batch of jobs in one call, returning one ticket
+    /// per job in batch order. The batch path of the ingress tier
+    /// (`das_core::ingress`): backends override it to amortise per-job
+    /// costs — the simulator validates and buffers the batch in one
+    /// pass, the runtime allocates the batch's job-id block with one
+    /// atomic add and takes its pool locks once, and the cluster
+    /// dispatcher sends **one wire message per node per batch** instead
+    /// of one per job.
+    ///
+    /// Contract, beyond what `submit` already guarantees:
+    ///
+    /// * an **empty batch is rejected** at the façade
+    ///   ([`ExecError::Rejected`]) — "submit nothing" is a client bug,
+    ///   not an empty success;
+    /// * on success, `tickets[i]` corresponds to `specs[i]` and job ids
+    ///   are dense in batch order, exactly as if each spec had been
+    ///   `submit`ted in sequence;
+    /// * on error, the first failing job's error is returned. How much
+    ///   of the batch was admitted is backend-specific: this default
+    ///   (a `submit` loop) admits the prefix before the failure, while
+    ///   batch-capable backends validate first and admit *nothing*
+    ///   (the cluster discards only the rejecting node's sub-batch).
+    ///   Clients that mix invalid jobs into batches should `drain`
+    ///   before trusting session contents — the same "no rollback
+    ///   verb" stance as [`run_stream`](Executor::run_stream).
+    fn submit_many(&mut self, specs: Vec<JobSpec<Self::Graph>>) -> Result<Vec<Ticket>, ExecError> {
+        if specs.is_empty() {
+            return Err(ExecError::Rejected("empty batch".into()));
+        }
+        specs.into_iter().map(|spec| self.submit(spec)).collect()
+    }
+
     /// Block until the ticket's job completes; returns its stats and
     /// consumes its drain record.
     fn wait(&mut self, ticket: Ticket) -> Result<JobStats, ExecError>;
@@ -434,6 +484,16 @@ pub struct SessionBuilder {
     /// Idle-worker park timeout override (`das-runtime` only); `None`
     /// keeps the runtime's default.
     pub park_timeout: Option<Duration>,
+    /// Shard count of the MPMC submission tier built over this session
+    /// (`das_core::ingress`): more shards spread concurrent submitters
+    /// across more cache-padded slot buffers. Backends themselves
+    /// ignore it.
+    pub ingress_shards: usize,
+    /// Admission bound: the most jobs a backend (or, on the cluster
+    /// tier, each node) may hold un-retired before `submit` rejects
+    /// with [`ExecError::Overloaded`]. `None` (the default) keeps the
+    /// historical unbounded behaviour.
+    pub max_outstanding: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -452,6 +512,8 @@ impl SessionBuilder {
             allow_high_priority_steal: false,
             sim_params: SimParams::default(),
             park_timeout: None,
+            ingress_shards: 8,
+            max_outstanding: None,
         }
     }
 
@@ -500,6 +562,24 @@ impl SessionBuilder {
     /// Override the threaded runtime's idle-worker park timeout.
     pub fn park_timeout(mut self, timeout: Duration) -> Self {
         self.park_timeout = Some(timeout);
+        self
+    }
+
+    /// Set the ingress shard count (see [`SessionBuilder::ingress_shards`]).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn ingress_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "ingress needs at least one shard");
+        self.ingress_shards = shards;
+        self
+    }
+
+    /// Bound the un-retired jobs a backend (per node, on the cluster
+    /// tier) will hold before rejecting with
+    /// [`ExecError::Overloaded`].
+    pub fn max_outstanding(mut self, limit: usize) -> Self {
+        self.max_outstanding = Some(limit);
         self
     }
 
@@ -672,6 +752,59 @@ mod tests {
         assert!(ExecError::Failed("budget".into())
             .to_string()
             .contains("budget"));
+        let e = ExecError::Overloaded {
+            outstanding: 64,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("64"), "{e}");
+        assert!(e.to_string().contains("overloaded"), "{e}");
+    }
+
+    #[test]
+    fn default_submit_many_matches_a_submit_loop() {
+        let mut batch = InstantExec::new();
+        let tickets = batch
+            .submit_many(vec![JobSpec::new(3usize), JobSpec::new(5), JobSpec::new(2)])
+            .expect("batch accepted");
+        assert_eq!(tickets.len(), 3);
+        let batch_report = batch.drain().unwrap();
+
+        let mut looped = InstantExec::new();
+        for spec in [JobSpec::new(3usize), JobSpec::new(5), JobSpec::new(2)] {
+            looped.submit(spec).expect("accepted");
+        }
+        let loop_report = looped.drain().unwrap();
+        assert_eq!(batch_report, loop_report);
+        // Tickets come back in batch order with dense ids.
+        assert_eq!(
+            tickets.iter().map(Ticket::job).collect::<Vec<_>>(),
+            vec![JobId(0), JobId(1), JobId(2)]
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_rejected_at_the_facade() {
+        let mut ex = InstantExec::new();
+        assert!(matches!(
+            ex.submit_many(Vec::new()),
+            Err(ExecError::Rejected(_))
+        ));
+        // Nothing was admitted.
+        assert!(ex.drain().unwrap().jobs.is_empty());
+    }
+
+    #[test]
+    fn default_submit_many_admits_the_prefix_before_a_rejection() {
+        let mut ex = InstantExec::new();
+        let err = ex
+            .submit_many(vec![JobSpec::new(3usize), JobSpec::new(0), JobSpec::new(2)])
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Rejected(_)));
+        // The loop default admitted job 0; the invalid job and its
+        // successors were not admitted.
+        let rest = ex.drain().unwrap();
+        assert_eq!(rest.jobs.len(), 1);
+        assert_eq!(rest.jobs[0].tasks, 3);
     }
 
     #[test]
@@ -729,12 +862,16 @@ mod tests {
                 wake_latency: 1e-6,
                 ..SimParams::default()
             })
-            .park_timeout(Duration::from_millis(1));
+            .park_timeout(Duration::from_millis(1))
+            .ingress_shards(4)
+            .max_outstanding(128);
         assert_eq!(s.seed, 9);
         assert_eq!(s.ratio, WeightRatio::new(2, 5));
         assert_eq!(s.discipline, QueueDiscipline::PLAIN_LIFO);
         assert_eq!(s.sim_params.wake_latency, 1e-6);
         assert_eq!(s.park_timeout, Some(Duration::from_millis(1)));
+        assert_eq!(s.ingress_shards, 4);
+        assert_eq!(s.max_outstanding, Some(128));
         let sched = s.scheduler();
         assert_eq!(sched.policy(), Policy::DamP);
         // The steal ablation is observable through the scheduler.

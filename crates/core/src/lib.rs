@@ -59,6 +59,7 @@
 //! ```
 
 pub mod exec;
+pub mod ingress;
 pub mod jobs;
 mod policy;
 mod ptt;
@@ -66,6 +67,7 @@ mod queue;
 mod scheduler;
 
 pub use exec::{ExecError, ExecExtras, ExecReport, Executor, SessionBuilder, Ticket};
+pub use ingress::{CachePadded, Ingress, IngressTicket};
 pub use jobs::{JobClass, JobId, JobSpec, JobStats, StreamStats};
 pub use policy::Policy;
 pub use ptt::{Ptt, PttRegistry, PttSnapshot, WeightRatio};

@@ -36,6 +36,7 @@ pub use collectives::{ReduceOp, COLLECTIVE_TAG_BASE};
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,6 +63,10 @@ struct Shared {
     n: usize,
     boxes: Vec<Mailbox>,
     barrier: BarrierState,
+    /// Messages sent by each rank, ever (monotone). The wire-traffic
+    /// accounting behind [`Endpoint::sent_count`]: batching tiers
+    /// assert "one message per node per batch" against it.
+    sent: Vec<AtomicU64>,
 }
 
 /// A group of `n` ranks that can exchange messages. Clone-free: hand out
@@ -85,6 +90,7 @@ impl Communicator {
                     arrived: Mutex::new((0, 0)),
                     cond: Condvar::new(),
                 },
+                sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
             }),
         }
     }
@@ -138,6 +144,7 @@ impl Endpoint {
     /// Panics if `dst` is out of range.
     pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
         assert!(dst < self.shared.n, "destination {dst} out of range");
+        self.shared.sent[self.rank].fetch_add(1, Ordering::Relaxed);
         let mbox = &self.shared.boxes[dst];
         {
             let mut slots = mbox.slots.lock();
@@ -208,6 +215,15 @@ impl Endpoint {
             slots.remove(&key);
         }
         p
+    }
+
+    /// Total messages this rank has ever sent (point-to-point sends,
+    /// including those issued inside collectives). Monotone; reads are
+    /// exact once the sending code is quiescent. Batch tiers use the
+    /// delta across a submission to prove their one-message-per-node
+    /// wire contract.
+    pub fn sent_count(&self) -> u64 {
+        self.shared.sent[self.rank].load(Ordering::Acquire)
     }
 
     /// Combined send + receive with the same partner, the shape of a
@@ -442,6 +458,29 @@ mod tests {
         b.send(0, 5, vec![7.0]);
         assert_eq!(a.try_recv_latest(1, 5), Some(vec![7.0]));
         assert_eq!(a.recv(1, 6), vec![9.0]);
+    }
+
+    #[test]
+    fn sent_counts_are_per_rank_and_monotone() {
+        let comm = Communicator::new(3);
+        let a = comm.endpoint(0);
+        let b = comm.endpoint(1);
+        assert_eq!((a.sent_count(), b.sent_count()), (0, 0));
+        a.send(1, 0, vec![1.0]);
+        a.send(2, 0, vec![2.0]);
+        b.send(0, 0, vec![3.0]);
+        assert_eq!(a.sent_count(), 2, "sends are counted at the sender");
+        assert_eq!(b.sent_count(), 1);
+        assert_eq!(comm.endpoint(2).sent_count(), 0, "receives do not count");
+        // A clone shares the same rank's counter.
+        let a2 = a.clone();
+        a2.send(1, 1, vec![4.0]);
+        assert_eq!(a.sent_count(), 3);
+        // sendrecv counts exactly its one send.
+        let h = thread::spawn(move || b.sendrecv(0, 9, vec![0.0]));
+        a.sendrecv(1, 9, vec![0.0]);
+        h.join().unwrap();
+        assert_eq!(a.sent_count(), 4);
     }
 
     #[test]

@@ -588,6 +588,15 @@ pub struct Runtime {
     /// This executor instance's [`session_tag`]: stamped into every
     /// ticket, checked on redemption.
     exec_session: u64,
+    /// Admission bound for the [`Executor`] façade: the most tickets
+    /// that may be live (issued and neither waited nor drained) at
+    /// once. `None` (the default) is unbounded; set from
+    /// [`SessionBuilder::max_outstanding`] by [`Runtime::from_session`]
+    /// or [`Runtime::max_outstanding`]. Counted on the ticket ledger —
+    /// not the pool's in-flight count — so rejection is deterministic:
+    /// it depends only on the client's submit/wait/drain sequence,
+    /// never on how fast workers happen to retire jobs.
+    max_outstanding: Option<usize>,
 }
 
 impl Runtime {
@@ -613,6 +622,7 @@ impl Runtime {
         if let Some(timeout) = session.park_timeout {
             rt = rt.park_timeout(timeout);
         }
+        rt.max_outstanding = session.max_outstanding;
         rt
     }
 
@@ -644,7 +654,15 @@ impl Runtime {
             exec_tickets: HashMap::new(),
             exec_extras: ExecExtras::default(),
             exec_session: session_tag(),
+            max_outstanding: None,
         }
+    }
+
+    /// Bound the [`Executor`] façade's live tickets at `limit`; beyond
+    /// it, façade submissions shed with [`ExecError::Overloaded`].
+    pub fn max_outstanding(mut self, limit: usize) -> Self {
+        self.max_outstanding = Some(limit);
+        self
     }
 
     /// Set the base seed of the per-worker steal RNGs. Takes effect at
@@ -670,6 +688,18 @@ impl Runtime {
     /// The platform model (== number of worker threads).
     pub fn topology(&self) -> &Arc<Topology> {
         &self.topo
+    }
+
+    /// Shed `incoming` more façade submissions if they would push the
+    /// live-ticket count past the admission bound.
+    fn check_admission(&self, incoming: usize) -> Result<(), ExecError> {
+        if let Some(limit) = self.max_outstanding {
+            let outstanding = self.exec_tickets.len();
+            if outstanding + incoming > limit {
+                return Err(ExecError::Overloaded { outstanding, limit });
+            }
+        }
+        Ok(())
     }
 
     fn ensure_workers(&self) {
@@ -698,9 +728,62 @@ impl Runtime {
         spec.graph.validate()?;
         self.ensure_workers();
         let arrival = self.shared.now();
+        let id = JobId(self.shared.next_job.fetch_add(1, Ordering::Relaxed));
+        let job = self.make_job(spec, id, arrival);
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        // The submitting thread plays the role of XiTAO's main thread
+        // (core 0 context) releasing the roots.
+        for root in job.graph.shape().roots() {
+            self.shared.wakeup(&job, root, 0);
+        }
+        Ok(JobHandle {
+            job,
+            pool: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Submit a whole batch with the per-job fixed costs paid once:
+    /// one pool-lock acquisition (`ensure_workers`), one
+    /// arrival stamp, one `JobId` block reservation (a single
+    /// `fetch_add(n)` on the id counter) and one active-count update
+    /// for all `n` jobs. Ids are dense in batch order — exactly the ids
+    /// a loop of [`Runtime::submit`] would issue. Validation is
+    /// all-or-nothing: an invalid graph anywhere rejects the batch
+    /// before any job is admitted.
+    pub fn submit_batch(&self, specs: Vec<JobSpec<TaskGraph>>) -> Result<Vec<JobHandle>, DagError> {
+        for spec in &specs {
+            spec.graph.validate()?;
+        }
+        self.ensure_workers();
+        let n = specs.len();
+        let arrival = self.shared.now();
+        let base = self.shared.next_job.fetch_add(n as u64, Ordering::Relaxed);
+        let jobs: Vec<Arc<ActiveJob>> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(k, spec)| self.make_job(spec, JobId(base + k as u64), arrival))
+            .collect();
+        self.shared.active.fetch_add(n, Ordering::AcqRel);
+        for job in &jobs {
+            for root in job.graph.shape().roots() {
+                self.shared.wakeup(job, root, 0);
+            }
+        }
+        Ok(jobs
+            .into_iter()
+            .map(|job| JobHandle {
+                job,
+                pool: Arc::clone(&self.shared),
+            })
+            .collect())
+    }
+
+    /// Construct the live-job record for a pre-validated spec under a
+    /// pre-allocated id (shared by the single and batch submit paths).
+    fn make_job(&self, spec: JobSpec<TaskGraph>, id: JobId, arrival: f64) -> Arc<ActiveJob> {
         let deadline = spec.deadline.map(|d| arrival + (d - spec.arrival).max(0.0));
-        let job = Arc::new(ActiveJob {
-            id: JobId(self.shared.next_job.fetch_add(1, Ordering::Relaxed)),
+        Arc::new(ActiveJob {
+            id,
             class: spec.class,
             preds: spec
                 .graph
@@ -723,16 +806,6 @@ impl Runtime {
             done: Mutex::new(None),
             done_cond: Condvar::new(),
             graph: spec.graph,
-        });
-        self.shared.active.fetch_add(1, Ordering::AcqRel);
-        // The submitting thread plays the role of XiTAO's main thread
-        // (core 0 context) releasing the roots.
-        for root in job.graph.shape().roots() {
-            self.shared.wakeup(&job, root, 0);
-        }
-        Ok(JobHandle {
-            job,
-            pool: Arc::clone(&self.shared),
         })
     }
 
@@ -763,10 +836,32 @@ impl Executor for Runtime {
     }
 
     fn submit(&mut self, spec: JobSpec<TaskGraph>) -> Result<Ticket, ExecError> {
+        self.check_admission(1)?;
         let handle = Runtime::submit(self, spec).map_err(|e| ExecError::Rejected(e.to_string()))?;
         let id = handle.id();
         self.exec_tickets.insert(id.0, handle);
         Ok(Ticket::new(self.exec_session, id))
+    }
+
+    fn submit_many(&mut self, specs: Vec<JobSpec<TaskGraph>>) -> Result<Vec<Ticket>, ExecError> {
+        if specs.is_empty() {
+            return Err(ExecError::Rejected("empty batch".into()));
+        }
+        // A batch either fits under the admission bound or is shed
+        // whole; and `submit_batch` validates all-or-nothing, so a
+        // rejected batch admits *nothing* (the façade's documented
+        // batch semantics — stronger than the default's prefix).
+        self.check_admission(specs.len())?;
+        let handles =
+            Runtime::submit_batch(self, specs).map_err(|e| ExecError::Rejected(e.to_string()))?;
+        Ok(handles
+            .into_iter()
+            .map(|handle| {
+                let id = handle.id();
+                self.exec_tickets.insert(id.0, handle);
+                Ticket::new(self.exec_session, id)
+            })
+            .collect())
     }
 
     fn wait(&mut self, ticket: Ticket) -> Result<JobStats, ExecError> {

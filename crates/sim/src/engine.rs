@@ -147,6 +147,13 @@ pub struct Simulator {
     rng: SmallRng,
     /// Safety valve against runaway event loops.
     pub max_events: u64,
+    /// Admission bound for the executor-session path: the most jobs
+    /// that may be admitted-but-not-retired (pending plus
+    /// executed-but-uncollected) at once. `None` (the default) is
+    /// unbounded; set from [`SessionBuilder::max_outstanding`] by the
+    /// session constructors. Beyond the bound, the [`Executor`] façade
+    /// sheds with [`ExecError::Overloaded`].
+    pub max_outstanding: Option<usize>,
     record_trace: bool,
     trace: Trace,
 
@@ -239,6 +246,7 @@ impl Simulator {
             env,
             rng,
             max_events: 2_000_000_000,
+            max_outstanding: None,
             record_trace: false,
             trace: Trace::default(),
             cores: Vec::new(),
@@ -284,6 +292,7 @@ impl Simulator {
     pub fn from_session(session: &SessionBuilder) -> Self {
         let mut sim = Simulator::new(SimConfig::from_session(session));
         sim.replace_scheduler(Arc::new(session.scheduler()));
+        sim.max_outstanding = session.max_outstanding;
         sim
     }
 
@@ -299,6 +308,7 @@ impl Simulator {
     ) -> Self {
         let mut sim = Simulator::new(SimConfig::from_session(session).cost(cost));
         sim.replace_scheduler(Arc::new(session.scheduler()));
+        sim.max_outstanding = session.max_outstanding;
         sim
     }
 
@@ -508,6 +518,25 @@ impl Simulator {
     /// Number of submitted jobs not yet executed.
     pub fn pending_jobs(&self) -> usize {
         self.pending_specs.len()
+    }
+
+    /// Jobs admitted into the session and not yet retired: pending plus
+    /// executed-but-uncollected. This is the count
+    /// [`Simulator::max_outstanding`] bounds.
+    pub fn outstanding_jobs(&self) -> usize {
+        self.pending_specs.len() + self.ledger.len()
+    }
+
+    /// Shed `incoming` more jobs if they would push
+    /// [`Simulator::outstanding_jobs`] past the admission bound.
+    fn check_admission(&self, incoming: usize) -> Result<(), ExecError> {
+        if let Some(limit) = self.max_outstanding {
+            let outstanding = self.outstanding_jobs();
+            if outstanding + incoming > limit {
+                return Err(ExecError::Overloaded { outstanding, limit });
+            }
+        }
+        Ok(())
     }
 
     /// Run the pending batch through the stream engine, remap the
@@ -1065,10 +1094,39 @@ impl Executor for Simulator {
     }
 
     fn submit(&mut self, spec: JobSpec<Dag>) -> Result<Ticket, ExecError> {
+        self.check_admission(1)?;
         Ok(Ticket::new(
             self.exec_session,
             Simulator::submit(self, spec)?,
         ))
+    }
+
+    fn submit_many(&mut self, specs: Vec<JobSpec<Dag>>) -> Result<Vec<Ticket>, ExecError> {
+        if specs.is_empty() {
+            return Err(ExecError::Rejected("empty batch".into()));
+        }
+        // Shed the whole batch up front: a batch either fits under the
+        // admission bound or none of it is admitted.
+        self.check_admission(specs.len())?;
+        // One pass: validate-and-buffer through the native path — the
+        // ids come out exactly as a loop of `submit` would issue them.
+        // On a mid-batch rejection, rewind to the pre-batch state so an
+        // overridden batch admits *nothing* (the façade's documented
+        // batch semantics — stronger than the default's prefix).
+        let saved_pending = self.pending_specs.len();
+        let saved_next = self.next_ticket;
+        let mut tickets = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match Simulator::submit(self, spec) {
+                Ok(id) => tickets.push(Ticket::new(self.exec_session, id)),
+                Err(e) => {
+                    self.pending_specs.truncate(saved_pending);
+                    self.next_ticket = saved_next;
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(tickets)
     }
 
     fn wait(&mut self, ticket: Ticket) -> Result<JobStats, ExecError> {

@@ -16,12 +16,13 @@
 use das::cluster::{ClusterBuilder, RoutePolicy};
 use das::core::jobs::{JobId, JobSpec};
 use das::core::Policy;
-use das::dag::Dag;
+use das::dag::{generators, Dag};
 use das::exec::{ExecError, ExecReport, Executor, SessionBuilder, Ticket};
 use das::runtime::TaskGraph;
 use das::sim::Simulator;
 use das::topology::Topology;
 use das::workloads::arrivals::{JobShape, StreamConfig};
+use das_core::TaskTypeId;
 use std::sync::Arc;
 
 /// The seeded stream every section executes.
@@ -152,6 +153,224 @@ fn cluster_ticket_lifecycle_matches_the_executor_contract() {
     );
     // An idle cluster drains empty.
     assert!(cluster.drain().expect("empty drain").jobs.is_empty());
+}
+
+fn chain_job(j: usize) -> JobSpec<Dag> {
+    JobSpec::new(generators::chain(TaskTypeId(0), 4)).at(j as f64 * 1e-3)
+}
+
+#[test]
+fn cluster_submit_many_is_bit_identical_to_a_submit_loop_for_every_policy() {
+    // The batch path routes each job against a locally-updated load
+    // view — exactly the `+1` a node's synchronous T_LOAD report would
+    // have applied between two looped submissions — so for every
+    // policy the assignment, the records and the merged extras must be
+    // bit-identical to the equivalent loop.
+    let jobs = stream();
+    for policy in RoutePolicy::ALL {
+        let build = || {
+            ClusterBuilder::new(base_session(11), 4)
+                .route(policy)
+                .route_seed(99)
+                .build_sim()
+        };
+
+        let mut looped = build();
+        let loop_tickets: Vec<Ticket> = jobs
+            .iter()
+            .map(|spec| looped.submit(spec.clone()).expect("accepted"))
+            .collect();
+        let loop_nodes: Vec<Option<usize>> =
+            loop_tickets.iter().map(|t| looped.node_of(t)).collect();
+        let loop_drain = looped.drain().expect("drains");
+        let loop_extras = looped.take_extras();
+
+        let mut batched = build();
+        let batch_tickets = batched.submit_many(jobs.clone()).expect("batch accepted");
+        let batch_nodes: Vec<Option<usize>> =
+            batch_tickets.iter().map(|t| batched.node_of(t)).collect();
+        let batch_drain = batched.drain().expect("drains");
+        let batch_extras = batched.take_extras();
+
+        assert_eq!(batch_tickets.len(), loop_tickets.len(), "{policy:?}");
+        for (b, l) in batch_tickets.iter().zip(&loop_tickets) {
+            assert_eq!(b.job(), l.job(), "{policy:?}: dense ids in batch order");
+        }
+        assert_eq!(batch_nodes, loop_nodes, "{policy:?}: identical routing");
+        assert_eq!(batch_drain, loop_drain, "{policy:?}: records bit-identical");
+        assert_eq!(
+            batch_extras, loop_extras,
+            "{policy:?}: extras bit-identical"
+        );
+    }
+}
+
+#[test]
+fn batch_submission_issues_one_wire_message_per_touched_node() {
+    // The whole point of the batch path: one control message per node
+    // with a non-empty sub-batch, regardless of batch size — against a
+    // loop's one message per job.
+    let mut cluster = ClusterBuilder::new(base_session(21), 4)
+        .route(RoutePolicy::RoundRobin)
+        .build_sim();
+
+    // A p2p submission costs exactly one wire message.
+    let before = cluster.wire_messages_sent();
+    cluster.submit(chain_job(0)).expect("accepted");
+    assert_eq!(cluster.wire_messages_sent() - before, 1);
+
+    // An 8-job batch over 4 round-robin nodes: 4 messages, not 8.
+    let before = cluster.wire_messages_sent();
+    let tickets = cluster
+        .submit_many((1..9).map(chain_job).collect())
+        .expect("batch accepted");
+    assert_eq!(tickets.len(), 8);
+    assert_eq!(cluster.wire_messages_sent() - before, 4);
+
+    // A 64-job batch: still 4 — the cost is per touched node, not per
+    // job.
+    let before = cluster.wire_messages_sent();
+    let tickets = cluster
+        .submit_many((9..73).map(chain_job).collect())
+        .expect("large batch accepted");
+    assert_eq!(tickets.len(), 64);
+    assert_eq!(cluster.wire_messages_sent() - before, 4);
+
+    // A single-job batch degenerates to the p2p cost.
+    let before = cluster.wire_messages_sent();
+    cluster
+        .submit_many(vec![chain_job(73)])
+        .expect("singleton batch accepted");
+    assert_eq!(cluster.wire_messages_sent() - before, 1);
+
+    // An empty batch is rejected at the façade: zero wire traffic.
+    let before = cluster.wire_messages_sent();
+    assert!(matches!(
+        cluster.submit_many(Vec::new()),
+        Err(ExecError::Rejected(_))
+    ));
+    assert_eq!(cluster.wire_messages_sent() - before, 0);
+
+    // The unamortised baseline, for contrast: a loop pays per job.
+    let before = cluster.wire_messages_sent();
+    for j in 74..82 {
+        cluster.submit(chain_job(j)).expect("accepted");
+    }
+    assert_eq!(cluster.wire_messages_sent() - before, 8);
+
+    // Everything above round-trips intact: 1 + 8 + 64 + 1 + 8 jobs
+    // with dense cluster ids and unmangled graphs.
+    let stats = cluster.drain().expect("drains");
+    assert_eq!(stats.jobs.len(), 82);
+    for (j, s) in stats.jobs.iter().enumerate() {
+        assert_eq!(s.id, JobId(j as u64), "dense ids across batch sizes");
+        assert_eq!(s.tasks, 4, "every chain job intact");
+    }
+}
+
+#[test]
+fn a_single_job_batch_is_bit_identical_to_a_p2p_submission() {
+    let jobs = stream();
+    let build = || {
+        ClusterBuilder::new(base_session(17), 4)
+            .route(RoutePolicy::PowerOfTwo)
+            .route_seed(5)
+            .build_sim()
+    };
+    let mut p2p = build();
+    for spec in jobs.clone() {
+        p2p.submit(spec).expect("accepted");
+    }
+    let p2p_sent = p2p.wire_messages_sent();
+    let p2p_drain = p2p.drain().expect("drains");
+    let p2p_extras = p2p.take_extras();
+
+    let mut batched = build();
+    for spec in jobs {
+        let tickets = batched.submit_many(vec![spec]).expect("accepted");
+        assert_eq!(tickets.len(), 1);
+    }
+    assert_eq!(batched.wire_messages_sent(), p2p_sent, "same wire cost");
+    assert_eq!(batched.drain().expect("drains"), p2p_drain);
+    assert_eq!(batched.take_extras(), p2p_extras);
+}
+
+#[test]
+fn load_shed_routes_around_full_nodes_and_sheds_only_when_all_are_full() {
+    // Node 0 admits 1 job, node 1 admits 3: LoadShed must never select
+    // a full node while a non-full node exists, and must shed (typed
+    // Overloaded) only when every node is full — recovering after a
+    // drain.
+    let sessions: Vec<SessionBuilder> = [1usize, 3]
+        .iter()
+        .enumerate()
+        .map(|(i, &limit)| base_session(11 + i as u64).max_outstanding(limit))
+        .collect();
+    let mut cluster = ClusterBuilder::from_sessions(sessions)
+        .route(RoutePolicy::LoadShed)
+        .build_sim();
+
+    let expected_nodes = [0usize, 1, 1, 1];
+    let tickets: Vec<Ticket> = (0..4)
+        .map(|j| {
+            cluster
+                .submit(chain_job(j))
+                .expect("a node has a free slot")
+        })
+        .collect();
+    for (t, &node) in tickets.iter().zip(&expected_nodes) {
+        assert_eq!(
+            cluster.node_of(t),
+            Some(node),
+            "full nodes are routed around, ties to the lowest id"
+        );
+    }
+    // Every node full: the shed is typed with the cluster-wide pressure.
+    match cluster.submit(chain_job(4)) {
+        Err(ExecError::Overloaded { outstanding, limit }) => {
+            assert_eq!((outstanding, limit), (4, 4));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // A batch that cannot be fully placed admits nothing.
+    assert!(matches!(
+        cluster.submit_many(vec![chain_job(5), chain_job(6)]),
+        Err(ExecError::Overloaded { .. })
+    ));
+
+    // Drain retires everything and the cluster recovers; the batch
+    // path routes around fullness exactly like the loop.
+    assert_eq!(cluster.drain().expect("drains").jobs.len(), 4);
+    let batch = cluster
+        .submit_many((0..4).map(chain_job).collect())
+        .expect("slots freed");
+    let nodes: Vec<Option<usize>> = batch.iter().map(|t| cluster.node_of(t)).collect();
+    assert_eq!(nodes, expected_nodes.map(Some).to_vec());
+    assert_eq!(cluster.drain().expect("drains").jobs.len(), 4);
+}
+
+#[test]
+fn a_rejecting_sub_batch_loses_only_its_own_node() {
+    // Round-robin over 2 nodes: the valid job goes to node 0, the
+    // invalid one to node 1. Node 1 admits nothing (backend batches
+    // are atomic on validation); node 0's sub-batch stays admitted and
+    // surfaces in the next drain — the batch analogue of the bare
+    // backends' failed-batch semantics.
+    let mut cluster = ClusterBuilder::new(base_session(13), 2)
+        .route(RoutePolicy::RoundRobin)
+        .build_sim();
+    let err = cluster
+        .submit_many(vec![chain_job(0), JobSpec::new(Dag::new("empty"))])
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Rejected(_)), "{err:?}");
+    let stats = cluster.drain().expect("drains");
+    assert_eq!(stats.jobs.len(), 1, "node 0's sub-batch survived");
+    assert_eq!(stats.jobs[0].tasks, 4);
+    // The cluster keeps serving.
+    let t = cluster
+        .submit(chain_job(1))
+        .expect("healthy after the error");
+    assert_eq!(cluster.wait(t).expect("completes").tasks, 4);
 }
 
 #[test]

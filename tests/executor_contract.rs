@@ -235,6 +235,103 @@ fn sim_facade_is_bit_reproducible() {
 }
 
 #[test]
+fn sim_submit_many_is_bit_identical_to_a_submit_loop() {
+    // The batch path must be a pure amortisation: same ids, same
+    // records, same extras — bit for bit — as the equivalent loop.
+    let jobs = stream();
+    let mut looped = sim_exec(Policy::DamC, 7);
+    let loop_tickets: Vec<Ticket> = jobs
+        .iter()
+        .map(|spec| Executor::submit(&mut looped, spec.clone()).expect("accepted"))
+        .collect();
+    let loop_drain = Executor::drain(&mut looped).expect("drains");
+    let loop_extras = looped.take_extras();
+
+    let mut batched = sim_exec(Policy::DamC, 7);
+    let batch_tickets = batched.submit_many(jobs.clone()).expect("batch accepted");
+    let batch_drain = Executor::drain(&mut batched).expect("drains");
+    let batch_extras = batched.take_extras();
+
+    assert_eq!(batch_tickets.len(), loop_tickets.len());
+    for (b, l) in batch_tickets.iter().zip(&loop_tickets) {
+        assert_eq!(b.job(), l.job(), "dense ids in batch order");
+    }
+    assert_eq!(batch_drain, loop_drain, "records bit-identical");
+    assert_eq!(batch_extras, loop_extras, "extras bit-identical");
+}
+
+#[test]
+fn empty_batches_are_rejected_on_every_backend() {
+    let mut sim = sim_exec(Policy::DamC, 7);
+    assert!(matches!(
+        sim.submit_many(Vec::new()),
+        Err(ExecError::Rejected(_))
+    ));
+    let mut rt = rt_exec(Policy::DamC, 2);
+    assert!(matches!(
+        rt.submit_many(Vec::new()),
+        Err(ExecError::Rejected(_))
+    ));
+}
+
+#[test]
+fn sim_overload_rejects_at_exactly_the_limit_and_recovers_after_drain() {
+    let session = SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC)
+        .seed(7)
+        .max_outstanding(3);
+    let mut sim = Simulator::from_session(&session);
+    let jobs = stream();
+    for spec in jobs.iter().take(3).cloned() {
+        Executor::submit(&mut sim, spec).expect("under the limit");
+    }
+    // Deterministic rejection at limit + 1, with the typed fields.
+    match Executor::submit(&mut sim, jobs[3].clone()) {
+        Err(ExecError::Overloaded { outstanding, limit }) => {
+            assert_eq!((outstanding, limit), (3, 3));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // A whole batch that does not fit is shed whole: nothing admitted.
+    assert!(matches!(
+        sim.submit_many(jobs[3..5].to_vec()),
+        Err(ExecError::Overloaded { .. })
+    ));
+    // Drain retires everything; the session recovers.
+    assert_eq!(Executor::drain(&mut sim).expect("drains").jobs.len(), 3);
+    let t = Executor::submit(&mut sim, jobs[3].clone()).expect("recovered");
+    assert_eq!(Executor::wait(&mut sim, t).expect("completes").id, JobId(3));
+}
+
+#[test]
+fn runtime_overload_rejects_at_exactly_the_limit_and_recovers() {
+    let session =
+        SessionBuilder::new(Arc::new(Topology::symmetric(2)), Policy::DamC).max_outstanding(2);
+    let mut rt = Runtime::from_session(&session);
+    let jobs = to_runtime_jobs(&stream());
+    let t0 = Executor::submit(&mut rt, jobs[0].clone()).expect("accepted");
+    Executor::submit(&mut rt, jobs[1].clone()).expect("accepted");
+    // The bound counts live tickets, not in-flight work, so rejection
+    // is deterministic no matter how fast the pool retires jobs.
+    match Executor::submit(&mut rt, jobs[2].clone()) {
+        Err(ExecError::Overloaded { outstanding, limit }) => {
+            assert_eq!((outstanding, limit), (2, 2));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Redeeming one ticket frees exactly one slot…
+    Executor::wait(&mut rt, t0).expect("completes");
+    Executor::submit(&mut rt, jobs[2].clone()).expect("slot freed");
+    assert!(matches!(
+        Executor::submit(&mut rt, jobs[3].clone()),
+        Err(ExecError::Overloaded { .. })
+    ));
+    // …and a drain frees them all.
+    assert_eq!(Executor::drain(&mut rt).expect("drains").jobs.len(), 2);
+    Executor::submit(&mut rt, jobs[3].clone()).expect("recovered after drain");
+    Executor::drain(&mut rt).expect("final drain");
+}
+
+#[test]
 fn rejected_jobs_do_not_poison_the_session() {
     // An invalid graph is rejected by submit on both backends; the
     // session keeps serving valid jobs afterwards.
