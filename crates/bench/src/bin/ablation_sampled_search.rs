@@ -6,6 +6,9 @@
 //! scenario) and decision cost (mean search latency on a trained PTT),
 //! across machine sizes.
 
+// Measurement harness: the wall clock is the instrument (clippy.toml
+// bans it workspace-wide for *decision* code).
+#![allow(clippy::disallowed_methods)]
 use das_bench::{scale_from_args, SEED};
 use das_core::{Policy, Scheduler, TaskTypeId, WeightRatio};
 use das_sim::{Environment, Modifier, SimConfig, Simulator};

@@ -45,6 +45,9 @@
 //! Workloads are seeded and deterministic; the wall-clock timings (and
 //! therefore the JSON values) naturally vary with the host.
 
+// Measurement harness: the wall clock is the instrument (clippy.toml
+// bans it workspace-wide for *decision* code).
+#![allow(clippy::disallowed_methods)]
 use das_bench::{scale_from_args, SEED};
 use das_cluster::{ClusterBuilder, RoutePolicy};
 use das_core::exec::{ExecError, Executor, SessionBuilder};

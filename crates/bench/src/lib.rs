@@ -45,6 +45,8 @@ pub fn scale_from_args() -> usize {
             }
         }
     }
+    // Harness sizing knob, read once at startup; never a scheduling input.
+    #[allow(clippy::disallowed_methods)]
     std::env::var("DAS_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -565,6 +565,9 @@ impl<G> Executor for Cluster<G> {
         // (exactly the submitted-but-unwaited jobs are drained).
         let mut reverse: HashMap<(usize, u64), u64> = self
             .route
+            // det-ok: an order-insensitive fold into a keyed map; the
+            // job records built from it are sorted by from_jobs at the
+            // emission point and extras are keyed per node, not per job.
             .drain()
             .map(|(cluster, r)| ((r.node, r.local), cluster))
             .collect();
@@ -894,7 +897,7 @@ mod tests {
                 das_core::Priority::Low,
                 move |ctx: &das_runtime::TaskCtx| {
                     if ctx.rank == 0 {
-                        h.fetch_add(1, Ordering::Relaxed);
+                        h.fetch_add(1, Ordering::Relaxed); // relaxed-ok: test counter; wait() joins every task before the read
                     }
                 },
             );
@@ -904,7 +907,7 @@ mod tests {
                 das_core::Priority::High,
                 move |ctx: &das_runtime::TaskCtx| {
                     if ctx.rank == 0 {
-                        h.fetch_add(1, Ordering::Relaxed);
+                        h.fetch_add(1, Ordering::Relaxed); // relaxed-ok: test counter; wait() joins every task before the read
                     }
                 },
             );
@@ -914,7 +917,7 @@ mod tests {
         let stats = cluster.drain().unwrap();
         assert_eq!(stats.jobs.len(), 4);
         assert_eq!(stats.tasks, 8);
-        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert_eq!(hits.load(Ordering::Relaxed), 8); // relaxed-ok: read after wait(); job completion orders the counters
         let extras = cluster.take_extras();
         assert_eq!(extras.events, None, "runtime nodes report no sim events");
         assert!(extras.steals.is_some());

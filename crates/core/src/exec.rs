@@ -59,6 +59,8 @@ static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
 /// issue; [`Executor::wait`] rejects tickets from any other session
 /// with [`ExecError::UnknownTicket`].
 pub fn session_tag() -> u64 {
+    // relaxed-ok: unique-id generation; only atomicity of the increment
+    // matters, no other memory is published under this counter.
     NEXT_SESSION.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -160,6 +162,10 @@ pub struct ExecExtras {
     pub steals: Option<u64>,
     /// Discrete events processed (simulation backends only).
     pub events: Option<u64>,
+    /// Named extension values. Deliberately a `BTreeMap`: these feed
+    /// user-visible reports through [`ExecExtras::values`], so the
+    /// iteration order at the emission point must be deterministic
+    /// (name order), never the insertion order of the backends.
     values: BTreeMap<String, f64>,
 }
 

@@ -244,6 +244,9 @@ impl<E: Executor> Ingress<E> {
         let s = self.shard_of(lane);
         let shard = &self.shards[s];
         let stride = self.shards.len() as u64;
+        // relaxed-ok: per-shard id allocation; ids only need to be
+        // unique, and the strided arithmetic keeps shards disjoint —
+        // the claim handshake below carries the ordering.
         let id = s as u64 + shard.next.fetch_add(1, Ordering::Relaxed) * stride;
         shard
             .slots

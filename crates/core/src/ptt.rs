@@ -123,9 +123,12 @@ pub struct Ptt {
 /// sum of all applied deltas.
 #[inline]
 fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    // relaxed-ok: self-contained accumulator cell; the CAS loop only
+    // needs atomicity of the bit-pattern, no other memory is published.
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let new = (f64::from_bits(cur) + delta).to_bits();
+        // relaxed-ok: same cell as above; failure just reloads it.
         match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
@@ -192,6 +195,8 @@ impl Ptt {
     fn record_aggregate(&self, core: CoreId, width: usize, old: f64, new: f64) {
         let i = self.agg_idx(core, width);
         if old == 0.0 {
+            // relaxed-ok: advisory sample counter for the cluster
+            // fallback average; slight staleness only shades estimates.
             self.agg_cnt[i].fetch_add(1, Ordering::Relaxed);
         }
         atomic_f64_add(&self.agg_sum[i], new - old);
@@ -203,6 +208,8 @@ impl Ptt {
     pub fn predict(&self, core: CoreId, width: usize) -> Option<f64> {
         self.topo.place(core, width)?;
         let i = self.idx(core, width)?;
+        // relaxed-ok: advisory estimate read; a stale EWMA value only
+        // shades a scheduling decision, no invariant depends on it.
         Some(f64::from_bits(self.entries[i].load(Ordering::Relaxed)))
     }
 
@@ -224,6 +231,8 @@ impl Ptt {
             return;
         };
         let cell = &self.entries[i];
+        // relaxed-ok: EWMA update CAS loop on one self-contained cell;
+        // only atomicity of the blend matters.
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let old = f64::from_bits(cur);
@@ -235,10 +244,12 @@ impl Ptt {
             match cell.compare_exchange_weak(
                 cur,
                 new.to_bits(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // relaxed-ok: same advisory cell as the load above
+                Ordering::Relaxed, // relaxed-ok: failure just reloads the cell
             ) {
                 Ok(_) => {
+                    // relaxed-ok: monotone visit counter, read only for
+                    // interference detection heuristics and reports.
                     self.visits[i].fetch_add(1, Ordering::Relaxed);
                     self.record_aggregate(place.leader, place.width, old, new);
                     return;
@@ -259,11 +270,14 @@ impl Ptt {
     pub fn visits(&self, core: CoreId, width: usize) -> Option<u64> {
         self.topo.place(core, width)?;
         let i = self.idx(core, width)?;
+        // relaxed-ok: monotone counter read for heuristics/reports.
         Some(self.visits[i].load(Ordering::Relaxed))
     }
 
     /// Total observations across all entries.
     pub fn total_visits(&self) -> u64 {
+        // relaxed-ok: statistics sum over monotone counters; a torn
+        // cross-cell snapshot is acceptable for reporting.
         self.visits.iter().map(|v| v.load(Ordering::Relaxed)).sum()
     }
 
@@ -302,6 +316,8 @@ impl Ptt {
             return;
         }
         if let Some(i) = self.idx(core, width) {
+            // relaxed-ok: seeding an advisory estimate cell; the swap is
+            // atomic and nothing else is published under it.
             let old = f64::from_bits(self.entries[i].swap(seconds.to_bits(), Ordering::Relaxed));
             self.record_aggregate(core, width, old, seconds);
         }
@@ -355,8 +371,11 @@ impl Ptt {
             return Some(raw);
         }
         let i = self.agg_idx(core, width);
+        // relaxed-ok: cluster-average fallback; count and sum are
+        // advisory and may be mutually stale without harm.
         let n = self.agg_cnt[i].load(Ordering::Relaxed);
         Some(if n > 0 {
+            // relaxed-ok: same advisory aggregate as the count above.
             f64::from_bits(self.agg_sum[i].load(Ordering::Relaxed)) / n as f64
         } else {
             0.0
@@ -371,13 +390,17 @@ impl Ptt {
     fn estimate_valid(&self, core: CoreId, width: usize) -> f64 {
         let w = self.width_idx[width];
         let raw =
+            // relaxed-ok: advisory estimate read on the scheduling fast
+            // path; staleness only shades the placement decision.
             f64::from_bits(self.entries[core.0 * self.widths.len() + w].load(Ordering::Relaxed));
         if raw > 0.0 {
             return raw;
         }
         let i = self.topo.cluster_of(core).id.0 * self.widths.len() + w;
+        // relaxed-ok: advisory cluster-average fallback (count).
         let n = self.agg_cnt[i].load(Ordering::Relaxed);
         if n > 0 {
+            // relaxed-ok: advisory cluster-average fallback (sum).
             f64::from_bits(self.agg_sum[i].load(Ordering::Relaxed)) / n as f64
         } else {
             0.0
@@ -556,6 +579,8 @@ impl Ptt {
             for (wi, &width) in self.widths.iter().enumerate() {
                 if self.topo.place(CoreId(c), width).is_some() {
                     row.push(f64::from_bits(
+                        // relaxed-ok: report snapshot of advisory cells;
+                        // tearing across cells is acceptable.
                         self.entries[c * w + wi].load(Ordering::Relaxed),
                     ));
                 } else {

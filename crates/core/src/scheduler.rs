@@ -125,6 +125,8 @@ impl Scheduler {
     /// Next fast core for the FA round-robin.
     fn next_fast_core(&self) -> CoreId {
         let fast = self.topo.fastest_cluster();
+        // relaxed-ok: round-robin cursor; any interleaving of the
+        // increments is a valid rotation, nothing else rides on it.
         let i = self.fa_cursor.fetch_add(1, Ordering::Relaxed) % fast.num_cores;
         CoreId(fast.first_core.0 + i)
     }
@@ -197,6 +199,8 @@ impl Scheduler {
         width_one_only: bool,
         probe: CoreId,
     ) -> ExecutionPlace {
+        // relaxed-ok: decision counter driving the periodic probe; only
+        // the modulo cadence matters, not cross-thread ordering.
         let n = self.decisions.fetch_add(1, Ordering::Relaxed);
         if self.explore_every > 0 && n % self.explore_every == self.explore_every - 1 {
             if let Some(p) = self.exploration_place(n / self.explore_every, meta, width_one_only) {
@@ -300,19 +304,23 @@ impl Scheduler {
     }
 
     fn load_pending(&self, core: CoreId) -> f64 {
+        // relaxed-ok: advisory load estimate; staleness only shades the
+        // placement heuristic, no invariant depends on it.
         f64::from_bits(self.pending[core.0].load(Ordering::Relaxed))
     }
 
     fn add_pending(&self, core: CoreId, amount: f64) {
         let cell = &self.pending[core.0];
+        // relaxed-ok: CAS loop on one self-contained accumulator cell;
+        // only atomicity of the clamped add matters.
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + amount).max(0.0);
             match cell.compare_exchange_weak(
                 cur,
                 new.to_bits(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // relaxed-ok: same accumulator cell as the load above
+                Ordering::Relaxed, // relaxed-ok: failure just reloads the cell
             ) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,

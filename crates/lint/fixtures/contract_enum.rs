@@ -1,0 +1,8 @@
+//! Rule 5 fixture: a small enum with every variant shape.
+
+#[derive(Debug)]
+pub enum Signal {
+    Start,
+    Tick(u64),
+    Stop { code: i32 },
+}

@@ -1,0 +1,9 @@
+//! Rule 5 fixture: every variant referenced — the clean case.
+
+pub fn handle(s: Signal) -> u32 {
+    match s {
+        Signal::Start => 1,
+        Signal::Tick(n) => n as u32,
+        Signal::Stop { code } => code as u32,
+    }
+}

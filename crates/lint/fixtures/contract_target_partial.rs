@@ -1,0 +1,9 @@
+//! Rule 5 fixture: references only two of the three variants.
+
+pub fn handle(s: Signal) -> u32 {
+    match s {
+        Signal::Start => 1,
+        Signal::Tick(n) => n as u32,
+        _ => 0,
+    }
+}

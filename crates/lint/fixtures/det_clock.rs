@@ -1,0 +1,13 @@
+//! Rule 1 fixture: wall-clock, RNG and env reads.
+
+pub fn elapsed_ns() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn seed() -> u64 {
+    // det-ok: fixture justification, reason present
+    let r = rand::thread_rng().gen::<u64>();
+    let e = std::env::var("DAS_SEED").ok();
+    r + e.map(|s| s.len() as u64).unwrap_or(0)
+}

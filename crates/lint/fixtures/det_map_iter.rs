@@ -1,0 +1,26 @@
+//! Rule 1 fixture: hash-ordered iteration, justified and not.
+use std::collections::{HashMap, HashSet};
+
+pub struct Ledger {
+    entries: HashMap<u64, f64>,
+    seen: HashSet<u64>,
+}
+
+impl Ledger {
+    pub fn total(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    pub fn drain_sorted(&mut self) -> Vec<f64> {
+        // det-ok: sorted at the emission point below
+        let mut v: Vec<(u64, f64)> = self.entries.drain().collect();
+        v.sort_by_key(|e| e.0);
+        v.into_iter().map(|e| e.1).collect()
+    }
+
+    pub fn scan(&self) {
+        for id in &self.seen {
+            let _ = id;
+        }
+    }
+}

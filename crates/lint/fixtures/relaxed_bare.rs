@@ -1,0 +1,11 @@
+//! Rule 2 fixture: unannotated relaxed orderings.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    let a = c.load(Ordering::Acquire);
+    a + c.load(Ordering::Relaxed)
+}

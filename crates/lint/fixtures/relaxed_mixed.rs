@@ -1,0 +1,10 @@
+//! Rule 2 fixture: justified annotations next to a bare use.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn stats(c: &AtomicUsize) -> usize {
+    let a = c.load(Ordering::Relaxed);
+    // relaxed-ok: monotone counter, no ordering with other data
+    let b = c.load(Ordering::Relaxed);
+    let d = c.load(Ordering::Relaxed); // relaxed-ok: same counter, same argument
+    a + b + d
+}

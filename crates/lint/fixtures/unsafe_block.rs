@@ -1,0 +1,10 @@
+//! Rule 3 fixture: unsafe block without a SAFETY argument.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub fn read_last(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees v is non-empty (fixture).
+    unsafe { *v.get_unchecked(v.len() - 1) }
+}

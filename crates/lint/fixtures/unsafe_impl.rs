@@ -1,0 +1,18 @@
+//! Rule 3 fixture: unsafe impl / unsafe fn hygiene.
+
+pub struct Handle(*mut u8);
+
+unsafe impl Send for Handle {}
+
+// SAFETY: the pointer is owned and never aliased (fixture).
+unsafe impl Sync for Handle {}
+
+/// # Safety
+/// The pointer must be valid for reads.
+pub unsafe fn deref(h: &Handle) -> u8 {
+    *h.0
+}
+
+pub unsafe fn deref_bare(h: &Handle) -> u8 {
+    *h.0
+}

@@ -1,0 +1,9 @@
+//! Rule 4 fixture: bare unwrap in library code.
+
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn checked_head(v: &[u32]) -> u32 {
+    v.first().copied().expect("caller ensures non-empty")
+}

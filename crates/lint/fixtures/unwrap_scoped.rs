@@ -1,0 +1,17 @@
+//! Rule 4 fixture: test modules and annotations are exempt.
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.unwrap() // unwrap-ok: fixture invariant, None is unreachable
+}
+
+pub fn bare(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! CLI wrapper: `cargo run --release -p das-lint [-- --root <dir>]`.
+//! Prints the orderings inventory, then any diagnostics; exits 1 if
+//! the tree has unjustified violations.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = das_lint::workspace_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}` (usage: das-lint [--root <dir>])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = das_lint::Config::workspace(root);
+    let report = match das_lint::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("das-lint: audit failed to read the tree: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", das_lint::render_inventory(&report.inventory));
+    if report.is_clean() {
+        println!(
+            "das-lint: clean ({} files with atomics)",
+            report.inventory.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &report.diagnostics {
+            eprintln!("{d}");
+        }
+        eprintln!("das-lint: {} violation(s)", report.diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,192 @@
+//! Fixture-based self-tests of the das-lint rule engine.
+//!
+//! Every negative fixture under `crates/lint/fixtures/` contains known
+//! violations at known lines; these tests pin the exact `(line, rule)`
+//! set each one must produce — both that the violations ARE caught and
+//! that the justified/exempt lines are NOT. The final test runs the
+//! full workspace audit: it is the same gate CI runs, so deleting any
+//! justification comment in the tree turns `cargo test` red too.
+
+use std::path::Path;
+
+use das_lint::lexer::mask;
+use das_lint::rules::{
+    check_contract, FileKind, RULE_ATOMICS, RULE_CONTRACT, RULE_DETERMINISM, RULE_PANIC,
+    RULE_UNSAFE,
+};
+use das_lint::{audit_source, Config};
+
+const DET_LIB: FileKind = FileKind {
+    det_critical: true,
+    lib_code: true,
+    test_file: false,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).expect("fixture file exists")
+}
+
+/// Audit one fixture and return its `(line, rule)` findings, sorted.
+fn audit(name: &str, kind: FileKind) -> Vec<(usize, &'static str)> {
+    let src = fixture(name);
+    let (diags, _) = audit_source(Path::new(name), &src, kind);
+    let mut got: Vec<_> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    got.sort();
+    got
+}
+
+#[test]
+fn det_clock_flags_unjustified_reads_only() {
+    let got = audit("det_clock.rs", DET_LIB);
+    // Line 4: Instant::now. Line 11: std::env + env::var both match (one
+    // line, two patterns). Line 10 is justified by the det-ok above it.
+    assert_eq!(
+        got,
+        vec![
+            (4, RULE_DETERMINISM),
+            (11, RULE_DETERMINISM),
+            (11, RULE_DETERMINISM),
+        ]
+    );
+}
+
+#[test]
+fn det_map_iter_flags_hash_iteration_not_justified_drain() {
+    let got = audit("det_map_iter.rs", DET_LIB);
+    // Line 11: entries.values(). Line 22: `for … in &self.seen`.
+    // Line 16 (entries.drain) is justified by the det-ok above it.
+    assert_eq!(got, vec![(11, RULE_DETERMINISM), (22, RULE_DETERMINISM)]);
+}
+
+#[test]
+fn det_rules_do_not_fire_outside_critical_crates() {
+    let kind = FileKind {
+        det_critical: false,
+        lib_code: true,
+        test_file: false,
+    };
+    assert_eq!(audit("det_clock.rs", kind), vec![]);
+    assert_eq!(audit("det_map_iter.rs", kind), vec![]);
+}
+
+#[test]
+fn relaxed_bare_flags_every_unannotated_site() {
+    let got = audit("relaxed_bare.rs", DET_LIB);
+    assert_eq!(got, vec![(5, RULE_ATOMICS), (10, RULE_ATOMICS)]);
+}
+
+#[test]
+fn relaxed_mixed_accepts_same_line_and_preceding_annotations() {
+    let got = audit("relaxed_mixed.rs", DET_LIB);
+    assert_eq!(got, vec![(5, RULE_ATOMICS)]);
+}
+
+#[test]
+fn relaxed_inventory_counts_orderings() {
+    let src = fixture("relaxed_bare.rs");
+    let (_, counts) = audit_source(Path::new("relaxed_bare.rs"), &src, DET_LIB);
+    // ORDERINGS = [Relaxed, Acquire, Release, AcqRel, SeqCst]
+    assert_eq!(counts.0, [2, 1, 0, 0, 0]);
+}
+
+#[test]
+fn unsafe_block_without_safety_is_flagged() {
+    let got = audit("unsafe_block.rs", FileKind::default());
+    assert_eq!(got, vec![(4, RULE_UNSAFE)]);
+}
+
+#[test]
+fn unsafe_impl_and_fn_hygiene() {
+    let got = audit("unsafe_impl.rs", FileKind::default());
+    // Line 5: bare `unsafe impl Send`. Line 16: bare `unsafe fn`.
+    // Line 8 has a SAFETY comment, line 12 a rustdoc `# Safety` section.
+    assert_eq!(got, vec![(5, RULE_UNSAFE), (16, RULE_UNSAFE)]);
+}
+
+#[test]
+fn bare_unwrap_in_lib_code_is_flagged() {
+    let got = audit("unwrap_bare.rs", DET_LIB);
+    assert_eq!(got, vec![(4, RULE_PANIC)]);
+}
+
+#[test]
+fn unwrap_exemptions_tests_and_annotations() {
+    let got = audit("unwrap_scoped.rs", DET_LIB);
+    // Line 4 is annotated, line 15 sits in #[cfg(test)]; only line 8
+    // is a bare library unwrap.
+    assert_eq!(got, vec![(8, RULE_PANIC)]);
+
+    // The same file as a test file produces no panic findings at all.
+    let kind = FileKind {
+        det_critical: false,
+        lib_code: false,
+        test_file: true,
+    };
+    assert_eq!(audit("unwrap_scoped.rs", kind), vec![]);
+}
+
+#[test]
+fn contract_missing_variant_points_at_its_definition_line() {
+    let e = mask(&fixture("contract_enum.rs"));
+    let t = mask(&fixture("contract_target_partial.rs"));
+    let diags = check_contract(
+        Path::new("contract_enum.rs"),
+        &e,
+        "Signal",
+        Path::new("contract_target_partial.rs"),
+        &t,
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, RULE_CONTRACT);
+    assert_eq!(diags[0].line, 7, "Stop is declared on line 7");
+    assert!(diags[0].msg.contains("Signal::Stop"));
+}
+
+#[test]
+fn contract_full_coverage_is_clean_and_stale_enum_is_loud() {
+    let e = mask(&fixture("contract_enum.rs"));
+    let t = mask(&fixture("contract_target_full.rs"));
+    let clean = check_contract(
+        Path::new("contract_enum.rs"),
+        &e,
+        "Signal",
+        Path::new("contract_target_full.rs"),
+        &t,
+    );
+    assert_eq!(clean, vec![]);
+
+    // A contract naming an enum that no longer exists must fail loudly,
+    // not silently pass with zero variants.
+    let stale = check_contract(
+        Path::new("contract_enum.rs"),
+        &e,
+        "Missing",
+        Path::new("contract_target_full.rs"),
+        &t,
+    );
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].msg.contains("stale"));
+}
+
+#[test]
+fn clean_fixture_is_clean_under_strictest_classification() {
+    assert_eq!(audit("clean.rs", DET_LIB), vec![]);
+}
+
+/// The real gate: the workspace itself must audit clean. This is what
+/// makes deleting any justification comment turn CI red twice over —
+/// once through `cargo run -p das-lint`, once through `cargo test`.
+#[test]
+fn workspace_audits_clean() {
+    let cfg = Config::workspace(das_lint::workspace_root());
+    let report = das_lint::run(&cfg).expect("workspace tree is readable");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "das-lint found violations:\n{}",
+        rendered.join("\n")
+    );
+}

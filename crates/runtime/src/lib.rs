@@ -398,9 +398,12 @@ impl PoolShared {
             u64::MAX,
             now_ns,
             Ordering::AcqRel,
-            Ordering::Relaxed,
+            Ordering::Relaxed, // relaxed-ok: failure means another lane already stamped it
         );
         let node = asm.job.graph.shape().node(asm.task);
+        // Real execution-time measurement: this is the sample that trains
+        // the PTT, the one place the runtime must read the wall clock.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         // A panicking body must not kill the worker: the pool is
         // persistent, and an unwinding worker would strand this
@@ -412,6 +415,8 @@ impl PoolShared {
             (asm.job.graph.body(asm.task))(&ctx)
         }));
         let elapsed = t0.elapsed();
+        // relaxed-ok: per-core busy-time statistic; read only after the
+        // job completes (completion carries the release/acquire edge).
         asm.job.core_busy_ns[core].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         if outcome.is_err() {
             asm.job.poisoned.store(true, Ordering::Release);
@@ -469,10 +474,13 @@ impl PoolShared {
             core_busy: job
                 .core_busy_ns
                 .iter()
+                // relaxed-ok: read after job completion; the completion
+                // handshake already ordered every counter update.
                 .map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed)))
                 .collect(),
             high_priority_places: inner.high_priority_places.clone(),
             all_places: inner.all_places.clone(),
+            // relaxed-ok: read after job completion (same edge as above).
             steals: job.steals.load(Ordering::Relaxed),
         };
         drop(inner);
@@ -528,6 +536,8 @@ impl PoolShared {
                 continue;
             }
             if let Some(entry) = self.queues[v].wsq.lock().steal(eligible) {
+                // relaxed-ok: monotone steal statistic; the queue mutex
+                // orders the steal itself, the counter is advisory.
                 entry.payload().job.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(entry);
             }
@@ -639,7 +649,12 @@ impl Runtime {
             drained: Condvar::new(),
             completed: Mutex::new(CompletedLedger::default()),
             next_job: AtomicU64::new(0),
-            epoch: Instant::now(),
+            epoch: {
+                // The zero point all task timestamps are relative to;
+                // only durations from it ever surface.
+                #[allow(clippy::disallowed_methods)]
+                Instant::now()
+            },
         });
         Runtime {
             topo,
@@ -728,6 +743,8 @@ impl Runtime {
         spec.graph.validate()?;
         self.ensure_workers();
         let arrival = self.shared.now();
+        // relaxed-ok: job-id allocation; ids only need uniqueness, the
+        // queue push below publishes the job itself.
         let id = JobId(self.shared.next_job.fetch_add(1, Ordering::Relaxed));
         let job = self.make_job(spec, id, arrival);
         self.shared.active.fetch_add(1, Ordering::AcqRel);
@@ -757,6 +774,8 @@ impl Runtime {
         self.ensure_workers();
         let n = specs.len();
         let arrival = self.shared.now();
+        // relaxed-ok: batched job-id allocation; same argument as the
+        // single-submit path — uniqueness only.
         let base = self.shared.next_job.fetch_add(n as u64, Ordering::Relaxed);
         let jobs: Vec<Arc<ActiveJob>> = specs
             .into_iter()
@@ -886,6 +905,8 @@ impl Executor for Runtime {
         // handles.
         for (_, handle) in self.exec_tickets.drain() {
             *self.exec_extras.steals.get_or_insert(0) +=
+                // relaxed-ok: read after wait() completed the job; the
+                // completion handshake ordered the counter updates.
                 handle.job.steals.load(Ordering::Relaxed) as u64;
         }
         Ok(StreamStats::from_jobs(records))
@@ -942,7 +963,7 @@ mod tests {
         for _ in 0..200 {
             let c = Arc::clone(&count);
             let id = g.add(TaskTypeId(0), Priority::Low, move |_| {
-                c.fetch_add(1, Ordering::Relaxed);
+                c.fetch_add(1, Ordering::Relaxed); // relaxed-ok: test counter; wait() joins every task before the read
             });
             if let Some(p) = prev {
                 g.add_edge(p, id);
@@ -951,7 +972,7 @@ mod tests {
         }
         let st = run(&runtime, &g);
         assert_eq!(st.tasks, 200);
-        assert_eq!(count.load(Ordering::Relaxed), 200);
+        assert_eq!(count.load(Ordering::Relaxed), 200); // relaxed-ok: read after wait(); job completion orders the counters
     }
 
     #[test]
@@ -1187,12 +1208,12 @@ mod tests {
             let c = Arc::clone(&count);
             let t = g.add(TaskTypeId(0), Priority::Low, move |_| {
                 std::thread::sleep(Duration::from_micros(300));
-                c.fetch_add(1, Ordering::Relaxed);
+                c.fetch_add(1, Ordering::Relaxed); // relaxed-ok: test counter; wait() joins every task before the read
             });
             g.add_edge(root, t);
         }
         let st = run(&runtime, &g);
-        assert_eq!(count.load(Ordering::Relaxed), 64);
+        assert_eq!(count.load(Ordering::Relaxed), 64); // relaxed-ok: read after wait(); job completion orders the counters
         assert!(st.steals > 0, "stealing must occur on a fan-out");
     }
 
@@ -1208,7 +1229,7 @@ mod tests {
                 for _ in 0..10 {
                     let c = Arc::clone(c);
                     let t = g.add(TaskTypeId(0), Priority::Low, move |_| {
-                        c.fetch_add(1, Ordering::Relaxed);
+                        c.fetch_add(1, Ordering::Relaxed); // relaxed-ok: test counter; wait() joins every task before the read
                     });
                     g.add_edge(root, t);
                 }
@@ -1226,7 +1247,7 @@ mod tests {
             assert_eq!(committed, 11, "per-job histogram isolated");
         }
         for c in &counts {
-            assert_eq!(c.load(Ordering::Relaxed), 10);
+            assert_eq!(c.load(Ordering::Relaxed), 10); // relaxed-ok: read after wait(); job completion orders the counters
         }
         // Waiting a handle consumes the job's drain record, so a
         // handle-collecting caller leaves the drain buffer empty.
@@ -1318,11 +1339,11 @@ mod tests {
         let mut good = TaskGraph::new("good");
         let c = Arc::clone(&count);
         good.add(TaskTypeId(0), Priority::Low, move |_| {
-            c.fetch_add(1, Ordering::Relaxed);
+            c.fetch_add(1, Ordering::Relaxed); // relaxed-ok: test counter; wait() joins every task before the read
         });
         let st = run(&runtime, &good);
         assert_eq!(st.tasks, 1);
-        assert_eq!(count.load(Ordering::Relaxed), 1);
+        assert_eq!(count.load(Ordering::Relaxed), 1); // relaxed-ok: read after wait(); job completion orders the counters
     }
 
     #[test]
@@ -1453,6 +1474,7 @@ mod tests {
         let p = IdleParker::new();
         let token = p.prepare();
         p.notify();
+        #[allow(clippy::disallowed_methods)] // the test measures real park latency
         let t0 = Instant::now();
         let woken = p.park(token, Duration::from_secs(5));
         assert!(woken, "epoch move must report a wakeup");
@@ -1467,6 +1489,7 @@ mod tests {
     fn parker_times_out_without_notification() {
         let p = IdleParker::new();
         let token = p.prepare();
+        #[allow(clippy::disallowed_methods)] // the test measures real timeout latency
         let t0 = Instant::now();
         let woken = p.park(token, Duration::from_millis(20));
         assert!(!woken);

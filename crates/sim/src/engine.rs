@@ -511,6 +511,8 @@ impl Simulator {
     /// across batches.
     pub fn drain(&mut self) -> Result<StreamStats, SimError> {
         self.flush_pending()?;
+        // det-ok: hash order never reaches the output — from_jobs sorts
+        // the drained records by job id at the emission point.
         let jobs: Vec<JobStats> = self.ledger.drain().map(|(_, j)| j).collect();
         Ok(StreamStats::from_jobs(jobs))
     }
@@ -617,6 +619,9 @@ impl Simulator {
         while let Some(item) = self.heap.pop() {
             events += 1;
             if events > self.max_events {
+                // det-ok: debug-only diagnostics on the failure path;
+                // the env var gates an eprintln, never a sim decision.
+                #[allow(clippy::disallowed_methods)]
                 if std::env::var_os("DAS_SIM_DEBUG").is_some() {
                     eprintln!(
                         "event budget: now={} completed={} running={} heap={} ev={:?} steals={} failed={}",

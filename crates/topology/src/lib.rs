@@ -132,7 +132,11 @@ impl Cluster {
             w.checked_mul(2).filter(|w2| *w2 <= num_cores)
         })
         .collect();
-        if *valid_widths.last().unwrap() != num_cores {
+        if *valid_widths
+            .last()
+            .expect("successors(Some(1), …) yields at least one width")
+            != num_cores
+        {
             valid_widths.push(num_cores);
         }
         Cluster {

@@ -24,37 +24,83 @@ use std::sync::Arc;
 
 /// A grid buffer shared by disjointly-writing tasks.
 ///
-/// # Safety contract
-/// Tasks may call [`SharedGrid::slice_mut`] only on row ranges no other
-/// concurrently-running task writes or reads-for-this-iteration; the DAG
-/// edges built in this module enforce that discipline (see the block
-/// dependency analysis in `run_shared`).
+/// Storage is `Vec<UnsafeCell<f64>>` — `UnsafeCell<f64>` is
+/// `repr(transparent)` over `f64`, so the buffer keeps the contiguous
+/// row-major layout of a plain `Vec<f64>` — and all access goes through
+/// the per-row views [`SharedGrid::row`] / [`SharedGrid::row_mut`]. No
+/// whole-buffer `&mut` is ever created, so two tasks holding views of
+/// *different* rows never alias; the only obligation left to callers is
+/// row-level discipline.
+///
+/// # Safety contract (the disjoint-row invariant)
+/// A task may hold `row_mut(r)` only while no other concurrently
+/// runnable task holds `row(r)` or `row_mut(r)`. The DAG edges built in
+/// this module enforce exactly that: block `b` of iteration `i+1`
+/// depends on blocks `b−1, b, b+1` of iteration `i`, so every source
+/// row a task reads was finalized by a predecessor, and destination
+/// rows are partitioned across tasks (and cyclically across moldable
+/// lanes within a task).
 struct SharedGrid {
-    data: UnsafeCell<Vec<f64>>,
+    data: Vec<UnsafeCell<f64>>,
     cols: usize,
 }
 
-// SAFETY: all concurrent access goes through the row-disjointness
-// protocol documented on the type; the DAG construction guarantees it.
+// SAFETY: SharedGrid's `UnsafeCell` storage is only reachable through
+// `row`/`row_mut`, whose contracts require the disjoint-row protocol
+// above; under that protocol no two threads ever form aliasing
+// references to the same cell. (`Send` is auto-derived: the cells own
+// plain `f64`s.)
 unsafe impl Sync for SharedGrid {}
-unsafe impl Send for SharedGrid {}
 
 impl SharedGrid {
     fn new(data: Vec<f64>, cols: usize) -> Self {
         assert_eq!(data.len() % cols, 0);
         SharedGrid {
-            data: UnsafeCell::new(data),
+            data: data.into_iter().map(UnsafeCell::new).collect(),
             cols,
         }
     }
 
-    /// Read-only view of the whole grid.
+    fn rows(&self) -> usize {
+        self.data.len() / self.cols
+    }
+
+    /// Shared view of row `r` (panics if out of range).
     ///
     /// # Safety
-    /// No concurrent writer may exist for the rows being read.
+    /// No concurrently runnable task may hold `row_mut(r)`.
+    unsafe fn row(&self, r: usize) -> &[f64] {
+        let first: *const f64 = self.data[r * self.cols].get();
+        // SAFETY: the constructor asserts whole rows, so indices
+        // r*cols .. (r+1)*cols are in bounds once r*cols is; the cells
+        // are repr(transparent) f64s; the caller rules out writers.
+        unsafe { std::slice::from_raw_parts(first, self.cols) }
+    }
+
+    /// Exclusive view of row `r` (panics if out of range).
+    ///
+    /// # Safety
+    /// No concurrently runnable task may hold any view of row `r`.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn raw(&self) -> &mut Vec<f64> {
-        unsafe { &mut *self.data.get() }
+    unsafe fn row_mut(&self, r: usize) -> &mut [f64] {
+        let first: *mut f64 = self.data[r * self.cols].get();
+        // SAFETY: in-bounds as in `row`; the caller guarantees this is
+        // the only live view of row `r`, so `&mut` does not alias.
+        unsafe { std::slice::from_raw_parts_mut(first, self.cols) }
+    }
+
+    /// Copy the whole grid out, row-major.
+    ///
+    /// # Safety
+    /// No concurrently runnable task may hold any `row_mut` view (the
+    /// runtime must have quiesced).
+    unsafe fn snapshot(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for r in 0..self.rows() {
+            // SAFETY: forwarded from the caller: no writers remain.
+            out.extend_from_slice(unsafe { self.row(r) });
+        }
+        out
     }
 }
 
@@ -137,17 +183,17 @@ pub fn run_shared(rt: &Runtime, rows: usize, cols: usize, iters: usize, blocks: 
                 Priority::Low
             };
             let id = g.add(types::HEAT_COMPUTE, prio, move |ctx| {
-                // SAFETY: DAG edges guarantee exclusive write access to
-                // rows [lo, hi) of dst and stable reads of src rows
-                // [lo-1, hi]; ranks partition rows cyclically so writes
-                // stay disjoint within the task too.
-                let s = unsafe { src.raw() };
-                let d = unsafe { dst.raw() };
                 let cols = src.cols;
                 for r in ((lo + ctx.rank)..hi).step_by(ctx.width) {
+                    let (above, here, below, d) =
+                        // SAFETY: DAG edges order this task after every
+                        // writer of src rows r−1..=r+1 (iteration i), so
+                        // those reads are frozen; dst rows are partitioned
+                        // across blocks and cyclically across lanes, so
+                        // row_mut(r) is the only live view of dst row r.
+                        unsafe { (src.row(r - 1), src.row(r), src.row(r + 1), dst.row_mut(r)) };
                     for c in 1..cols - 1 {
-                        let i = r * cols + c;
-                        d[i] = 0.25 * (s[i - cols] + s[i + cols] + s[i - 1] + s[i + 1]);
+                        d[c] = 0.25 * (above[c] + below[c] + here[c - 1] + here[c + 1]);
                     }
                 }
             });
@@ -168,7 +214,7 @@ pub fn run_shared(rt: &Runtime, rows: usize, cols: usize, iters: usize, blocks: 
 
     let final_buf = &bufs[iters % 2];
     // SAFETY: the runtime has quiesced; no concurrent access remains.
-    let out = unsafe { final_buf.raw() }.clone();
+    let out = unsafe { final_buf.snapshot() };
     drop(bufs);
     out
 }
@@ -201,7 +247,10 @@ pub fn run_distributed(
                 s.spawn(move || rank_main(ep, mk(r), rows, cols, iters, blocks))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("heat rank thread panicked"))
+            .collect()
     });
 
     // Assemble: global boundary rows + each rank's interior slab.
@@ -277,18 +326,25 @@ fn rank_main(
                 // Both partners of an exchange must use the SAME tag
                 // (sendrecv sends and receives under one key).
                 let tag = it as u32;
-                // SAFETY: this task runs before any compute task of the
-                // iteration (DAG edge); ghost rows are not read until then.
-                let s = unsafe { src_c.raw() };
+                // This task is the sole root of the iteration's graph:
+                // every compute task waits on it (DAG edge), so while it
+                // runs no other task holds any view of src. Local row 1
+                // is the top owned row, row 0 the top ghost; row `own`
+                // the bottom owned row, row `own+1` the bottom ghost.
+                let _ = cols;
                 if rank > 0 {
-                    let top: Vec<f64> = s[cols..2 * cols].to_vec();
+                    // SAFETY: no concurrent task runs (see above).
+                    let top = unsafe { src_c.row(1) }.to_vec();
                     let recv = ep_c.sendrecv(rank - 1, tag, top);
-                    s[..cols].copy_from_slice(&recv);
+                    // SAFETY: no concurrent task runs (see above).
+                    unsafe { src_c.row_mut(0) }.copy_from_slice(&recv);
                 }
                 if rank + 1 < ranks {
-                    let bottom: Vec<f64> = s[own * cols..(own + 1) * cols].to_vec();
+                    // SAFETY: no concurrent task runs (see above).
+                    let bottom = unsafe { src_c.row(own) }.to_vec();
                     let recv = ep_c.sendrecv(rank + 1, tag, bottom);
-                    s[(own + 1) * cols..].copy_from_slice(&recv);
+                    // SAFETY: no concurrent task runs (see above).
+                    unsafe { src_c.row_mut(own + 1) }.copy_from_slice(&recv);
                 }
             },
         );
@@ -300,16 +356,23 @@ fn rank_main(
             let dst = Arc::clone(&dst);
             let glo = lo; // global offset for boundary-column logic
             let id = g.add(types::HEAT_COMPUTE, Priority::Low, move |ctx| {
-                // SAFETY: compute tasks of one iteration write disjoint
-                // local rows of dst and only read src (whose ghosts the
-                // comm task, a DAG predecessor, finalized).
-                let s = unsafe { src.raw() };
-                let d = unsafe { dst.raw() };
                 let _ = glo;
                 for lr in ((blo + ctx.rank)..bhi).step_by(ctx.width) {
+                    // SAFETY: compute tasks of one iteration only read
+                    // src (whose ghosts the comm task, a DAG
+                    // predecessor, finalized) and write disjoint local
+                    // rows of dst — blocks partition rows, lanes stride
+                    // cyclically — so row_mut(lr) is the only live view.
+                    let (above, here, below, d) = unsafe {
+                        (
+                            src.row(lr - 1),
+                            src.row(lr),
+                            src.row(lr + 1),
+                            dst.row_mut(lr),
+                        )
+                    };
                     for c in 1..cols - 1 {
-                        let i = lr * cols + c;
-                        d[i] = 0.25 * (s[i - cols] + s[i + cols] + s[i - 1] + s[i + 1]);
+                        d[c] = 0.25 * (above[c] + below[c] + here[c - 1] + here[c + 1]);
                     }
                 }
             });
@@ -324,10 +387,15 @@ fn rank_main(
         ep.barrier();
     }
 
+    // Owned rows are local rows 1..=own (ghosts excluded).
     let final_buf = &bufs[iters % 2];
-    // SAFETY: all runtimes quiesced and barrier passed.
-    let all = unsafe { final_buf.raw() };
-    all[cols..(own + 1) * cols].to_vec()
+    let mut slab = Vec::with_capacity(own * cols);
+    for lr in 1..=own {
+        // SAFETY: all runtimes quiesced and the barrier passed; no
+        // writer remains anywhere in the communicator.
+        slab.extend_from_slice(unsafe { final_buf.row(lr) });
+    }
+    slab
 }
 
 /// The Fig. 10 simulation DAG: `nodes` nodes in a chain, each running

@@ -7,6 +7,8 @@
 //! cargo run --release --example heat_distributed
 //! ```
 
+// Demo timing loop: the wall clock is the output, not a scheduling input.
+#![allow(clippy::disallowed_methods)]
 use das::core::Policy;
 use das::runtime::Runtime;
 use das::topology::Topology;

@@ -6,6 +6,8 @@
 //! cargo run --release --example kmeans
 //! ```
 
+// Demo timing loop: the wall clock is the output, not a scheduling input.
+#![allow(clippy::disallowed_methods)]
 use das::core::Policy;
 use das::runtime::Runtime;
 use das::topology::Topology;

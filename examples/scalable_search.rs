@@ -14,6 +14,8 @@
 //! cargo run --release --example scalable_search
 //! ```
 
+// Demo timing loop: the wall clock is the output, not a scheduling input.
+#![allow(clippy::disallowed_methods)]
 use das::core::{Policy, TaskTypeId};
 use das::dag::generators;
 use das::sim::{Environment, Modifier, Simulator};

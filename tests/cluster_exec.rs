@@ -79,6 +79,15 @@ fn n_node_sim_cluster_is_reproducible_and_completes_the_baseline_job_set() {
     let baseline = Executor::run_stream(&mut bare, jobs.clone()).expect("baseline stream");
 
     for policy in RoutePolicy::ALL {
+        // The matrix is exhaustive by construction: adding a RoutePolicy
+        // variant without extending ALL (and this match) stops compiling,
+        // and das-lint's contract rule pins each variant to this file.
+        let tag = match policy {
+            RoutePolicy::RoundRobin => "rr",
+            RoutePolicy::LeastOutstanding => "least-out",
+            RoutePolicy::PowerOfTwo => "po2",
+            RoutePolicy::LoadShed => "shed",
+        };
         let run = || -> ExecReport {
             let mut cluster = ClusterBuilder::new(base_session(11), 4)
                 .route(policy)
@@ -90,7 +99,7 @@ fn n_node_sim_cluster_is_reproducible_and_completes_the_baseline_job_set() {
         let b = run();
         // Bit-reproducible end to end: records, aggregates AND the
         // merged extras (which embed the per-node routing counts).
-        assert_eq!(a, b, "{policy:?} not reproducible");
+        assert_eq!(a, b, "{tag}: {policy:?} not reproducible");
 
         // Same job set as the baseline: dense cluster ids in submission
         // order, and — since routing never rewrites a spec — the same

@@ -165,12 +165,12 @@ impl AtomicF64 {
 
     fn fetch_add(&self, v: f64) {
         use std::sync::atomic::Ordering;
-        let mut cur = self.0.load(Ordering::Relaxed);
+        let mut cur = self.0.load(Ordering::Relaxed); // relaxed-ok: self-contained accumulator cell in a test helper
         loop {
             let new = (f64::from_bits(cur) + v).to_bits();
             match self
                 .0
-                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) // relaxed-ok: same cell; CAS loop only needs atomicity
             {
                 Ok(_) => return,
                 Err(c) => cur = c,
@@ -179,6 +179,6 @@ impl AtomicF64 {
     }
 
     fn load(&self) -> f64 {
-        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed))
+        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed)) // relaxed-ok: read after the runtime quiesced
     }
 }

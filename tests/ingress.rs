@@ -87,10 +87,10 @@ fn admission_bound_is_exact_under_concurrent_submitters() {
             scope.spawn(move || {
                 for k in 0..8 {
                     match ing.submit(lane, chain_job(k)) {
-                        Ok(_) => accepted.fetch_add(1, Ordering::Relaxed),
+                        Ok(_) => accepted.fetch_add(1, Ordering::Relaxed), // relaxed-ok: test counter; the scope join orders the read
                         Err(ExecError::Overloaded { limit, .. }) => {
                             assert_eq!(limit, 32);
-                            shed.fetch_add(1, Ordering::Relaxed)
+                            shed.fetch_add(1, Ordering::Relaxed) // relaxed-ok: test counter; the scope join orders the read
                         }
                         Err(other) => panic!("unexpected error: {other:?}"),
                     };
@@ -98,8 +98,8 @@ fn admission_bound_is_exact_under_concurrent_submitters() {
             });
         }
     });
-    assert_eq!(accepted.load(Ordering::Relaxed), 32);
-    assert_eq!(shed.load(Ordering::Relaxed), 32);
+    assert_eq!(accepted.load(Ordering::Relaxed), 32); // relaxed-ok: read after wait(); job completion orders the counters
+    assert_eq!(shed.load(Ordering::Relaxed), 32); // relaxed-ok: read after wait(); job completion orders the counters
     assert_eq!(ing.outstanding(), 32);
     // Every admitted job reaches the backend and retires on drain…
     assert_eq!(ing.drain().expect("drains").jobs.len(), 32);

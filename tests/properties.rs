@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! simulator's liveness/determinism invariants.
 
-use das::core::{Policy, Priority, Ptt, TaskMeta, TaskTypeId, WeightRatio};
+use das::core::{ExecExtras, Policy, Priority, Ptt, TaskMeta, TaskTypeId, WeightRatio};
 use das::dag::{generators, Dag};
 use das::sim::{cost::UniformCost, Environment, Modifier, SimConfig, Simulator};
 use das::topology::{CoreId, Topology};
@@ -10,6 +10,49 @@ use std::sync::Arc;
 
 fn arb_policy() -> impl Strategy<Value = Policy> {
     prop::sample::select(Policy::ALL.to_vec())
+}
+
+/// One per-node extras record: optional typed counters plus a few named
+/// extension values. Values are multiples of 1/16 so every f64 addition
+/// in the fold is exact and reordering cannot shift a low bit.
+fn arb_extras() -> impl Strategy<Value = ExecExtras> {
+    let name = prop::sample::select(vec![
+        "node0.jobs",
+        "node1.jobs",
+        "steal.ratio",
+        "queue.max",
+        "sim.horizon",
+    ]);
+    let value = (0u32..4096).prop_map(|k| k as f64 / 16.0);
+    // 1000 encodes "counter absent" (the vendored proptest shim has no
+    // `prop::option::of`).
+    let maybe =
+        |r: std::ops::Range<u64>| (r.start..r.end + 1).prop_map(move |v| (v < 1000).then_some(v));
+    (
+        maybe(0..1000),
+        maybe(0..1000),
+        prop::collection::vec((name, value), 0..4),
+    )
+        .prop_map(|(steals, events, pairs)| {
+            let mut e = ExecExtras::default();
+            e.steals = steals;
+            e.events = events;
+            for (k, v) in pairs {
+                e.bump(k, v);
+            }
+            e
+        })
+}
+
+/// In-place Fisher–Yates driven by a xorshift stream (the vendored
+/// proptest shim has no `prop_shuffle`).
+fn shuffle<T>(v: &mut [T], mut seed: u64) {
+    for i in (1..v.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        v.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
 }
 
 fn arb_topology() -> impl Strategy<Value = Topology> {
@@ -227,5 +270,27 @@ proptest! {
                 prop_assert_eq!(cluster_node, tag as usize, "core {} ran node-{} task", core, tag);
             }
         }
+    }
+
+    /// `ExecExtras::absorb` is an order-insensitive fold: merging the
+    /// same set of per-node records in any arrival order must yield the
+    /// same cluster-wide record, or the cluster report would depend on
+    /// which node answered the stats gather first.
+    #[test]
+    fn extras_absorb_is_order_insensitive(
+        parts in prop::collection::vec(arb_extras(), 0..8),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut a = ExecExtras::default();
+        for p in parts.clone() {
+            a.absorb(p);
+        }
+        let mut reordered = parts;
+        shuffle(&mut reordered, seed | 1);
+        let mut b = ExecExtras::default();
+        for p in reordered {
+            b.absorb(p);
+        }
+        prop_assert_eq!(a, b);
     }
 }

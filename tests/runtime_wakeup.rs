@@ -9,6 +9,9 @@
 //! bump a generation counter before notifying, and `park` refuses to
 //! sleep if the epoch moved since the pre-scan `prepare`.
 
+// This test measures real elapsed time on purpose: the property under
+// test *is* the wall-clock latency of the wakeup path.
+#![allow(clippy::disallowed_methods)]
 use das::core::{Policy, Priority, TaskTypeId};
 use das::runtime::{IdleParker, JobSpec, Runtime, TaskGraph};
 use das::topology::Topology;
