@@ -4,7 +4,7 @@
 //! §5.4 of the paper flags scheduling overhead as the open problem
 //! ("the design … may result in non negligible overheads when scaling
 //! to platforms with large amount of execution places and cores").
-//! This harness measures the seven hot paths that dominate that
+//! This harness measures the eight hot paths that dominate that
 //! overhead, on machines an order of magnitude larger than the TX2:
 //!
 //! * **sim events/sec** — discrete events the engine retires per wall
@@ -17,7 +17,7 @@
 //!   threaded worker pool (atomic active counter, short lock windows);
 //! * **cluster jobs/sec** — wall-clock throughput of the same stream
 //!   sharded over a 4-node all-sim `das-cluster` (power-of-two routing
-//!   over message-layer load reports, gather/reduce drain epilogue):
+//!   over message-layer load reports, per-link combined drain replies):
 //!   the dispatch + wire + merge overhead of the multi-node tier;
 //! * **ingress ops/sec** — submissions through the sharded
 //!   `das_core::Ingress` front door over the 4-node cluster, at 1, 8
@@ -28,6 +28,13 @@
 //!   hardware-independent) on the 4-node cluster under a 2x-saturation
 //!   Poisson stream with per-node admission bounds and `LoadShed`
 //!   routing — the backpressure quality-of-service trajectory;
+//! * **failover recovery ms** — the worst single-submission stall when
+//!   1 of 4 cluster nodes dies at ~50% of the stream (death detection,
+//!   requeue of the stranded jobs, re-placement on the survivors),
+//!   plus the throughput dip of the faulty run against the clean one —
+//!   the failure-domain trajectory: the series moves when recovery
+//!   work gets slower, while correctness (every job completes) is
+//!   asserted inline;
 //! * **ptt search ns/op** — one `global_search` decision on 64- and
 //!   256-core tables, for both the O(1) aggregate-cached `estimate`
 //!   fast path and the pre-aggregate per-call cluster rescan; the gate
@@ -52,7 +59,7 @@ use das_bench::{scale_from_args, SEED};
 use das_cluster::{ClusterBuilder, RoutePolicy};
 use das_core::exec::{ExecError, Executor, SessionBuilder};
 use das_core::jobs::{JobStats, StreamStats};
-use das_core::{Ingress, Policy, Priority, Ptt, TaskTypeId, WeightRatio};
+use das_core::{FaultSchedule, Ingress, Policy, Priority, Ptt, TaskTypeId, WeightRatio};
 use das_dag::{generators, Dag};
 use das_runtime::{JobSpec, Runtime, TaskGraph};
 use das_sim::{cost::UniformCost, SimConfig, Simulator};
@@ -128,7 +135,7 @@ fn stream_jobs_per_sec(scale: usize) -> (usize, f64) {
 /// 4-node all-sim cluster through the `Executor` façade the cluster
 /// dispatcher implements. Measures the tier's end-to-end overhead:
 /// routing (po2 over message-layer load reports), graph forwarding,
-/// per-node batch execution and the gather/reduce stats merge.
+/// per-node batch execution and the per-link drain-reply stats merge.
 fn cluster_jobs_per_sec(scale: usize) -> (usize, usize, f64) {
     let nodes = 4;
     let base = SessionBuilder::new(Arc::new(Topology::grid(1, 8, 8)), Policy::DamC).seed(SEED);
@@ -261,6 +268,70 @@ fn overload_sojourn_p99(scale: usize) -> (usize, usize, usize, f64) {
     (n, stats.jobs.len(), shed, p99)
 }
 
+/// One of four nodes dies at the midpoint of the stream. Three numbers
+/// come out: the clean run's throughput, the faulty run's throughput,
+/// and the worst single-submission stall of the faulty run — the
+/// submission that absorbs the death pays for detection (the typed
+/// `ERR_NODE_FAILED` frame), the stranded-job requeue and its own
+/// re-placement, all inside one `submit` call. Correctness is asserted
+/// inline (every job completes on the survivors, the requeue is
+/// counted); the series exists to keep that recovery path *fast*.
+fn failover_recovery(scale: usize) -> (usize, f64, f64, f64, f64) {
+    let nodes = 4usize;
+    let jobs = StreamConfig::poisson(SEED, (2_000 / scale).max(32), 200.0)
+        .shape(JobShape::Mixed {
+            parallelism: 4,
+            layers: 6,
+        })
+        .generate();
+    let n = jobs.len();
+    let build = |faults: Option<FaultSchedule>| {
+        let mut base =
+            SessionBuilder::new(Arc::new(Topology::grid(1, 8, 8)), Policy::DamC).seed(SEED);
+        if let Some(f) = faults {
+            base = base.fault_schedule(f);
+        }
+        ClusterBuilder::new(base, nodes)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim()
+    };
+
+    // The clean reference run.
+    let mut cluster = build(None);
+    let t0 = Instant::now();
+    for spec in jobs.clone() {
+        Executor::submit(&mut cluster, spec).expect("clean stream routes");
+    }
+    assert_eq!(cluster.drain().expect("clean drain").jobs.len(), n);
+    let clean_wall = t0.elapsed().as_secs_f64();
+
+    // Node 3 admits half of its round-robin share and dies at the next
+    // admission — ~50% of the way through the stream.
+    let schedule = FaultSchedule::new(SEED).kill(3, (n as u64 / 8).max(1));
+    let mut cluster = build(Some(schedule));
+    let mut worst = 0.0f64;
+    let t0 = Instant::now();
+    for spec in jobs {
+        let s = Instant::now();
+        Executor::submit(&mut cluster, spec).expect("failover re-places");
+        worst = worst.max(s.elapsed().as_secs_f64());
+    }
+    let st = cluster.drain().expect("faulty drain completes");
+    let fault_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(st.jobs.len(), n, "every job completes on the survivors");
+    let extras = cluster.take_extras();
+    assert_eq!(extras.get("node3.failed"), Some(1.0), "the kill fired");
+    let requeued = extras.get("jobs_requeued").unwrap_or(0.0);
+    assert!(requeued >= 1.0, "the stranded job was requeued");
+    (
+        n,
+        n as f64 / clean_wall,
+        n as f64 / fault_wall,
+        worst * 1e3,
+        requeued,
+    )
+}
+
 fn runtime_tasks_per_sec(scale: usize) -> (usize, f64) {
     let topo = Arc::new(Topology::grid(1, 8, 8));
     let rt = Runtime::new(topo, Policy::DamC).seed(SEED);
@@ -374,6 +445,12 @@ fn main() {
         "  overload_sojourn_p99   {p99:>14.4}  (sim s; {completed}/{offered} completed, {shed} shed, 2x saturation)"
     );
 
+    let (fo_jobs, fo_clean, fo_fault, fo_ms, fo_requeued) = failover_recovery(scale);
+    let fo_dip = (1.0 - fo_fault / fo_clean) * 100.0;
+    println!(
+        "  failover_recovery_ms   {fo_ms:>14.3}  ({fo_jobs} jobs, 1 of 4 nodes dies at 50%; {fo_clean:.0} -> {fo_fault:.0} jobs/s, dip {fo_dip:.1}%, {fo_requeued} requeued)"
+    );
+
     let iters = (20_000 / scale).max(200);
     let rescan_iters = (2_000 / scale).max(50);
     let ptt64 = representative_ptt(Arc::new(Topology::grid(1, 8, 8)));
@@ -419,6 +496,7 @@ fn main() {
     "cluster_jobs_per_sec": {{ "value": {cl_jps:.3}, "jobs": {cl_jobs}, "nodes": {cl_nodes}, "wall_s": {cl_wall:.6} }},
     "ingress_ops_per_sec": {{ "t1": {ing1:.1}, "t8": {ing8:.1}, "t64": {ing64:.1}, "ops": {ing_ops}, "scaling_64_over_1": {ing_scaling:.2} }},
     "overload_sojourn_p99": {{ "value": {p99:.6}, "unit": "sim_s", "offered": {offered}, "completed": {completed}, "shed": {shed}, "arrival_hz": 500.0, "max_outstanding_per_node": 64, "nodes": 4 }},
+    "failover_recovery_ms": {{ "value": {fo_ms:.3}, "jobs_per_sec_clean": {fo_clean:.1}, "jobs_per_sec_fault": {fo_fault:.1}, "dip_pct": {fo_dip:.2}, "requeued": {fo_requeued}, "offered": {fo_jobs}, "completed": {fo_jobs}, "nodes": 4 }},
     "ptt_search_ns_per_op": {{ "cores64": {ns64:.1}, "cores256": {ns256:.1}, "cores256_rescan": {ns256_rescan:.1}, "speedup_vs_rescan_256": {speedup:.2} }}
   }}
 }}

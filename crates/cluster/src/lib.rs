@@ -1,4 +1,4 @@
-//! # das-cluster — a sharded multi-node scheduling tier
+//! # das-cluster — a sharded, fault-tolerant multi-node scheduling tier
 //!
 //! Everything below the executor contract schedules *within* one node:
 //! the PTT, Algorithm 1 and the two-queue discipline place tasks on the
@@ -14,11 +14,15 @@
 //!
 //! ## Architecture
 //!
-//! One [`das_msg::Communicator`] with N+1 ranks: the dispatcher is rank
-//! 0, node `i` is rank `i + 1` and runs a **node agent** thread owning
-//! its executor. Three planes share the endpoints:
+//! Each node is a **failure domain**: the dispatcher talks to node `i`
+//! over a *private two-rank* [`das_msg::Communicator`] (dispatcher rank
+//! 0, node rank 1), and node `i` runs a **node agent** thread owning
+//! its executor. Private links — rather than one shared N+1-rank
+//! communicator — mean membership churn never resizes a shared rank
+//! space and a dead node can never wedge a collective. Three planes
+//! share each link:
 //!
-//! * **control** — submit/wait/shutdown commands and their
+//! * **control** — submit/wait/drain/shutdown commands and their
 //!   acknowledgements as point-to-point messages (graphs themselves
 //!   move through an in-process side channel; `das_msg` payloads are
 //!   `f64` rows, and task closures could never transit a wire format —
@@ -27,14 +31,49 @@
 //!   outstanding-job count back over the message layer; the dispatcher
 //!   collapses the backlog with [`das_msg::Endpoint::try_recv_latest`]
 //!   and routes by [`RoutePolicy`] (round-robin, least-outstanding, or
-//!   seeded power-of-two-choices) over that view;
-//! * **stats** — `drain` runs a collective epilogue: every node
-//!   `gather`s its completion records and its
-//!   [`ExecExtras`] to rank 0, then a summing `reduce`
-//!   cross-checks the decoded totals; the dispatcher merges the records
-//!   into cluster-wide [`StreamStats`] percentiles and folds the extras
-//!   (plus per-node attribution values `node{i}.jobs`, `node{i}.steals`,
-//!   …) into one report.
+//!   seeded power-of-two-choices) over that view, skipping dead nodes;
+//! * **stats** — `drain` sends every live node one command and reads
+//!   back one combined reply `[ACK_OK, jobs, tasks, records…, extras]`
+//!   whose header cross-checks the decoded records — a wire-format
+//!   regression trips an assert, not a silently wrong percentile.
+//!
+//! ## Failure domains and recovery
+//!
+//! Every control RPC is bounded: the dispatcher waits with a deadline
+//! and bounded exponential backoff ([`das_msg::Endpoint::recv_backoff`])
+//! and surfaces a typed [`ExecError::Timeout`] instead of hanging. A
+//! node-agent panic is caught at the thread boundary; the wrapper
+//! publishes a down flag and sends `ERR_NODE_FAILED` as its last frame,
+//! so the blocked dispatcher learns of the death *deterministically* —
+//! as a frame, not a timeout race — and decodes it into
+//! [`ExecError::NodeFailed`].
+//!
+//! On a detected death the dispatcher repairs the cluster from its
+//! **spec ledger** (enabled by [`Cluster::enable_recovery`]; on by
+//! default for [`ClusterBuilder::build_sim`] /
+//! [`ClusterBuilder::build_runtime`]): jobs the dead node had admitted
+//! but never started are requeued onto survivors through the normal
+//! routing policy (`jobs_requeued`), started-but-unfinished jobs are
+//! re-submitted **at most once** (`retries`), and jobs whose retry
+//! budget is spent redeem as [`ExecError::NodeFailed`] (`jobs_lost`).
+//! The failure itself is attributed in the merged extras as
+//! `node{i}.failed`.
+//!
+//! Deterministic **fault injection** drives all of this in tests: a
+//! seeded [`das_core::FaultSchedule`] on the base session plants
+//! logical triggers (die at the k-th admitted job, drop or delay load
+//! reports, withhold acks, inflate reported load) that the node agents
+//! consult at fixed points — no wall-clock, so a faulty run is exactly
+//! as bit-reproducible as a healthy one.
+//!
+//! ## Membership churn
+//!
+//! [`Cluster::add_node`] grows the fleet between drains;
+//! [`Cluster::remove_node`] retires a node gracefully — its pending
+//! (never-started) jobs move onto peers first, its remaining records
+//! are banked for the next [`Executor::drain`], and its slot index is
+//! never reused. Session tags stay monotone across churn because every
+//! executor draws from the same global tag counter.
 //!
 //! ## Tickets and ids
 //!
@@ -50,9 +89,10 @@
 //! the load view is updated synchronously (a node reports *before* it
 //! acknowledges), so the job→node assignment is reproducible; each
 //! `das-sim` node is bit-reproducible given its session seed; therefore
-//! an all-sim cluster is **bit-reproducible end to end**, and a 1-node
-//! sim cluster is bit-identical to a bare `Simulator` session (both
-//! pinned by `tests/cluster_exec.rs`).
+//! an all-sim cluster is **bit-reproducible end to end** — with or
+//! without scheduled faults — and a 1-node sim cluster is bit-identical
+//! to a bare `Simulator` session (pinned by `tests/cluster_exec.rs`
+//! and `tests/cluster_faults.rs`).
 //!
 //! ```
 //! use das_cluster::{ClusterBuilder, RoutePolicy};
@@ -74,21 +114,53 @@
 //! let stats = cluster.drain().unwrap();
 //! assert_eq!(stats.jobs.len(), 6);
 //! ```
+//!
+//! A seeded node kill, recovered on the survivors:
+//!
+//! ```
+//! use das_cluster::{ClusterBuilder, RoutePolicy};
+//! use das_core::exec::{Executor, SessionBuilder};
+//! use das_core::jobs::JobSpec;
+//! use das_core::{FaultSchedule, Policy, TaskTypeId};
+//! use das_dag::generators;
+//! use das_topology::Topology;
+//! use std::sync::Arc;
+//!
+//! let base = SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC)
+//!     .seed(7)
+//!     .fault_schedule(FaultSchedule::new(7).kill(1, 2));
+//! let mut cluster = ClusterBuilder::new(base, 3)
+//!     .route(RoutePolicy::RoundRobin)
+//!     .build_sim();
+//! for j in 0..9 {
+//!     let dag = generators::chain(TaskTypeId(0), 4);
+//!     cluster.submit(JobSpec::new(dag).at(j as f64 * 1e-3)).unwrap();
+//! }
+//! // Node 1 dies at its third admission; the full stream still
+//! // completes on the survivors.
+//! let stats = cluster.drain().unwrap();
+//! assert_eq!(stats.jobs.len(), 9);
+//! let extras = cluster.take_extras();
+//! assert_eq!(extras.get("node1.failed"), Some(1.0));
+//! ```
 
 mod route;
 mod wire;
 
 pub use route::RoutePolicy;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use das_core::exec::{session_tag, ExecError, ExecExtras, Executor, SessionBuilder, Ticket};
+use das_core::fault::{FaultKind, FaultPlane};
 use das_core::jobs::{JobId, JobSpec, JobStats, StreamStats};
 use das_dag::Dag;
-use das_msg::{Communicator, Endpoint, Payload, ReduceOp};
+use das_msg::{Communicator, Endpoint, Payload};
 use das_runtime::{Runtime, TaskGraph};
 use das_sim::Simulator;
 use parking_lot::Mutex;
@@ -96,23 +168,50 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use wire::{
-    ACK_OK, DISPATCHER, ERR_UNKNOWN_TICKET, OP_DRAIN, OP_SHUTDOWN, OP_SUBMIT, OP_SUBMIT_MANY,
+    ACK_OK, DISPATCHER, ERR_UNKNOWN_TICKET, NODE, OP_DRAIN, OP_SHUTDOWN, OP_SUBMIT, OP_SUBMIT_MANY,
     OP_WAIT, T_ACK, T_CTRL, T_LOAD,
 };
 
-/// Builds a [`Cluster`]: per-node sessions, routing policy, route seed.
+/// Human-readable label of a scheduled fault, used by failover tooling
+/// (the `cluster_failover` example) and by the das-lint cross-file
+/// contract that forces this crate to account for every
+/// [`FaultKind`] the fault plane can schedule.
+pub fn fault_kind_name(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Kill { .. } => "kill",
+        FaultKind::DropLoadReports { .. } => "drop-load-reports",
+        FaultKind::DelayLoadReports { .. } => "delay-load-reports",
+        FaultKind::DropAcks { .. } => "drop-acks",
+        FaultKind::Slow { .. } => "slow",
+    }
+}
+
+/// Builds a [`Cluster`]: per-node sessions, routing policy, route seed,
+/// control-RPC deadline.
 ///
 /// [`ClusterBuilder::new`] derives node `i`'s session from the base by
 /// offsetting the seed by `i` — node 0 keeps the base seed, which is
 /// what makes a 1-node cluster bit-identical to the bare backend built
 /// from the same session. [`ClusterBuilder::from_sessions`] accepts
 /// fully heterogeneous nodes (different topologies, policies, seeds).
+/// The base (first) session's [`das_core::FaultSchedule`] — if any —
+/// becomes the cluster's fault plane.
 #[derive(Clone, Debug)]
 pub struct ClusterBuilder {
     sessions: Vec<SessionBuilder>,
     policy: RoutePolicy,
     route_seed: u64,
+    rpc_base: Duration,
+    rpc_attempts: u32,
 }
+
+/// Default first-wait window of a control RPC; doubles each attempt.
+const DEFAULT_RPC_BASE: Duration = Duration::from_millis(500);
+/// Default attempt count: with the 500ms base the total budget is
+/// 31.5s — generous enough that a healthy-but-busy runtime node never
+/// spuriously times out, small enough that a wedged one is a test
+/// failure, not a CI hang.
+const DEFAULT_RPC_ATTEMPTS: u32 = 6;
 
 impl ClusterBuilder {
     /// `nodes` homogeneous nodes derived from `base` (node `i` runs
@@ -129,10 +228,13 @@ impl ClusterBuilder {
                 s
             })
             .collect();
+        let route_seed = base.seed;
         ClusterBuilder {
             sessions,
             policy: RoutePolicy::PowerOfTwo,
-            route_seed: base.seed,
+            route_seed,
+            rpc_base: DEFAULT_RPC_BASE,
+            rpc_attempts: DEFAULT_RPC_ATTEMPTS,
         }
     }
 
@@ -147,6 +249,8 @@ impl ClusterBuilder {
             sessions,
             policy: RoutePolicy::PowerOfTwo,
             route_seed,
+            rpc_base: DEFAULT_RPC_BASE,
+            rpc_attempts: DEFAULT_RPC_ATTEMPTS,
         }
     }
 
@@ -163,31 +267,55 @@ impl ClusterBuilder {
         self
     }
 
+    /// First-wait window of every control RPC (default 500ms). The
+    /// window doubles on each retry, so the total deadline is
+    /// `base × (2^attempts − 1)`.
+    pub fn rpc_deadline(mut self, base: Duration) -> Self {
+        self.rpc_base = base;
+        self
+    }
+
+    /// Number of backoff attempts per control RPC (default 6; clamped
+    /// to at least 1).
+    pub fn rpc_attempts(mut self, attempts: u32) -> Self {
+        self.rpc_attempts = attempts.max(1);
+        self
+    }
+
     /// The per-node sessions this builder will construct from.
     pub fn sessions(&self) -> &[SessionBuilder] {
         &self.sessions
     }
 
-    /// A cluster of `das-sim` nodes (`Simulator::from_session` each).
+    /// A cluster of `das-sim` nodes (`Simulator::from_session` each),
+    /// with failure recovery enabled.
     pub fn build_sim(self) -> Cluster<Dag> {
-        self.build_with(|_, session| Simulator::from_session(session))
+        let mut cluster = self.build_with(|_, session| Simulator::from_session(session));
+        cluster.enable_recovery();
+        cluster
     }
 
     /// A cluster of `das-runtime` nodes (`Runtime::from_session` each);
     /// worker threads per node are the node topology's core count.
+    /// Failure recovery is enabled.
     pub fn build_runtime(self) -> Cluster<TaskGraph> {
-        self.build_with(|_, session| Runtime::from_session(session))
+        let mut cluster = self.build_with(|_, session| Runtime::from_session(session));
+        cluster.enable_recovery();
+        cluster
     }
 
     /// A cluster over any executor backend: `factory(i, &session)`
     /// builds node `i`. All nodes must share one graph type — mixing
     /// backends with different graph representations cannot present a
-    /// single `Executor<Graph = G>` front.
-    pub fn build_with<E, F>(self, mut factory: F) -> Cluster<E::Graph>
+    /// single `Executor<Graph = G>` front. The factory is retained so
+    /// [`Cluster::add_node`] can spawn later members; recovery is *not*
+    /// enabled here (the graph type may not be `Clone`) — call
+    /// [`Cluster::enable_recovery`] if it is.
+    pub fn build_with<E, F>(self, factory: F) -> Cluster<E::Graph>
     where
         E: Executor + Send + 'static,
         E::Graph: Send + 'static,
-        F: FnMut(usize, &SessionBuilder) -> E,
+        F: FnMut(usize, &SessionBuilder) -> E + Send + 'static,
     {
         let n = self.sessions.len();
         // Per-node admission bounds, from each session's knob: the
@@ -199,67 +327,100 @@ impl ClusterBuilder {
             .iter()
             .map(|s| s.max_outstanding.map_or(f64::INFINITY, |l| l as f64))
             .collect();
-        let comm = Communicator::new(n + 1);
-        let mut nodes = Vec::with_capacity(n);
-        let mut agents = Vec::with_capacity(n);
-        for (i, session) in self.sessions.iter().enumerate() {
+        let faults = self.sessions[0].fault_schedule.clone().unwrap_or_default();
+        let mut factory = factory;
+        let mut spawner: Spawner<E::Graph> = Box::new(move |i, session| {
             let exec = factory(i, session);
-            let ep = comm.endpoint(i + 1);
-            let (tx, rx) = std::sync::mpsc::channel();
-            let errs = Arc::new(Mutex::new(String::new()));
-            let errs_agent = Arc::clone(&errs);
-            agents.push(
-                std::thread::Builder::new()
-                    .name(format!("das-cluster-node-{i}"))
-                    .spawn(move || node_agent(exec, ep, rx, errs_agent))
-                    .expect("spawn cluster node agent"),
-            );
-            nodes.push(NodeLink { tx, errs });
-        }
+            spawn_node(i, exec, faults.plane_for(i))
+        });
+        let nodes: Vec<NodeSlot<E::Graph>> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, session)| spawner(i, session))
+            .collect();
         Cluster {
-            ep: comm.endpoint(DISPATCHER),
             nodes,
-            agents,
+            alive: vec![true; n],
+            spawner,
             policy: self.policy,
             rng: SmallRng::seed_from_u64(self.route_seed),
             rr: 0,
             loads: vec![0.0; n],
             limits,
             route: HashMap::new(),
+            retained: HashMap::new(),
+            lost: HashMap::new(),
+            cloner: None,
+            banked_jobs: Vec::new(),
+            banked_extras: ExecExtras::default(),
             next_job: 0,
             exec_session: session_tag(),
             exec_extras: ExecExtras::default(),
+            rpc_base: self.rpc_base,
+            rpc_attempts: self.rpc_attempts,
         }
     }
 }
 
-/// Dispatcher-side handle of one node: the graph side channel and the
+/// Spawns node `i` from its session: builds the executor, wires the
+/// private link and starts the agent thread. Boxed so [`Cluster`] can
+/// keep it for [`Cluster::add_node`] without being generic over the
+/// factory.
+type Spawner<G> = Box<dyn FnMut(usize, &SessionBuilder) -> NodeSlot<G> + Send>;
+
+/// Dispatcher-side handle of one node: the graph side channel, the
 /// node's last error message (strings stay in-process; only codes
-/// cross the payload format).
-struct NodeLink<G> {
+/// cross the payload format), the dispatcher end of the private link,
+/// the agent's down flag and its join handle. Slots of dead or removed
+/// nodes stay in place so node indices are stable for the lifetime of
+/// the cluster.
+struct NodeSlot<G> {
     tx: Sender<JobSpec<G>>,
     errs: Arc<Mutex<String>>,
+    ep: Endpoint,
+    down: Arc<AtomicBool>,
+    agent: Option<JoinHandle<()>>,
 }
 
-/// Where a cluster job went.
+/// Where a cluster job went, and whether any node-side execution has
+/// been triggered for it (a `wait` or `drain` reaching its node starts
+/// the node's whole pending batch) — the bit that decides requeue
+/// (exactly-once so far) versus retry (at-most-once re-submission).
 #[derive(Clone, Copy, Debug)]
 struct NodeRoute {
     node: usize,
     local: u64,
+    started: bool,
 }
+
+/// Ledger entry for one in-flight job: the spec copy recovery would
+/// re-submit, and whether its single retry has been spent.
+struct Retained<G> {
+    spec: JobSpec<G>,
+    retried: bool,
+}
+
+/// Monomorphic spec copier installed by [`Cluster::enable_recovery`]; a
+/// plain `fn` pointer keeps `Cluster<G>` itself free of a `G: Clone`
+/// bound.
+type SpecCloner<G> = fn(&JobSpec<G>) -> JobSpec<G>;
 
 /// The sharded scheduling tier: N node-local executors behind one
 /// dispatcher that speaks the [`Executor`] contract. See the crate docs
-/// for the architecture; build with [`ClusterBuilder`].
+/// for the architecture and failure semantics; build with
+/// [`ClusterBuilder`].
 pub struct Cluster<G> {
-    ep: Endpoint,
-    nodes: Vec<NodeLink<G>>,
-    agents: Vec<JoinHandle<()>>,
+    nodes: Vec<NodeSlot<G>>,
+    /// Liveness per slot. Dead and removed nodes keep their slot (and
+    /// index) but are skipped by routing, load refresh and drain.
+    alive: Vec<bool>,
+    spawner: Spawner<G>,
     policy: RoutePolicy,
     rng: SmallRng,
     rr: usize,
     /// Last load report per node (outstanding jobs), fed exclusively by
-    /// `T_LOAD` messages.
+    /// `T_LOAD` messages; pinned to 0 for dead nodes.
     loads: Vec<f64>,
     /// Per-node admission bound (`f64::INFINITY` when unbounded),
     /// from each node session's `max_outstanding`.
@@ -267,15 +428,67 @@ pub struct Cluster<G> {
     /// Cluster job id → node placement, for every submitted job not yet
     /// waited or drained.
     route: HashMap<u64, NodeRoute>,
+    /// Spec ledger: cluster job id → re-submittable copy, populated
+    /// while recovery is enabled.
+    retained: HashMap<u64, Retained<G>>,
+    /// Jobs a node took down with it (no spec copy, or retry budget
+    /// spent): cluster job id → the node that failed. Their tickets
+    /// redeem as [`ExecError::NodeFailed`].
+    lost: HashMap<u64, usize>,
+    /// Monomorphic spec copier — `Some` once [`Cluster::enable_recovery`]
+    /// ran.
+    cloner: Option<SpecCloner<G>>,
+    /// Records and extras banked by [`Cluster::remove_node`], folded
+    /// into the next [`Executor::drain`].
+    banked_jobs: Vec<JobStats>,
+    banked_extras: ExecExtras,
     next_job: u64,
     exec_session: u64,
     exec_extras: ExecExtras,
+    rpc_base: Duration,
+    rpc_attempts: u32,
+}
+
+impl<G: Clone> Cluster<G> {
+    /// Turn on failure recovery: from here on the dispatcher retains a
+    /// copy of every submitted spec until its job completes, so jobs on
+    /// a dead node can be requeued (never-started) or retried at most
+    /// once (started). [`ClusterBuilder::build_sim`] and
+    /// [`ClusterBuilder::build_runtime`] enable this automatically;
+    /// [`ClusterBuilder::build_with`] leaves it off because an
+    /// arbitrary graph type may not be `Clone`.
+    pub fn enable_recovery(&mut self) {
+        self.cloner = Some(clone_spec::<G>);
+    }
+}
+
+/// The monomorphic target of [`Cluster::enable_recovery`]'s `fn`
+/// pointer.
+fn clone_spec<G: Clone>(spec: &JobSpec<G>) -> JobSpec<G> {
+    spec.clone()
 }
 
 impl<G> Cluster<G> {
-    /// Number of nodes.
+    /// Number of node slots ever created — live, dead and removed
+    /// (indices are stable and never reused).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of live nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Is node `node` live (spawned, not failed, not removed)?
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive.get(node).copied().unwrap_or(false)
+    }
+
+    /// Whether the spec ledger is active (see
+    /// [`Cluster::enable_recovery`]).
+    pub fn recovery_enabled(&self) -> bool {
+        self.cloner.is_some()
     }
 
     /// The routing policy in force.
@@ -291,15 +504,163 @@ impl<G> Cluster<G> {
             .flatten()
     }
 
-    fn rank(node: usize) -> usize {
-        node + 1
+    /// Grow the fleet: spawn a new node from `session` (with the fault
+    /// plane its fresh index selects from the cluster's schedule) and
+    /// open it to routing. Returns the new node's index. Session tags
+    /// stay monotone — the new executor draws from the same global
+    /// counter as every earlier one.
+    pub fn add_node(&mut self, session: &SessionBuilder) -> usize {
+        let idx = self.nodes.len();
+        let slot = (self.spawner)(idx, session);
+        self.nodes.push(slot);
+        self.alive.push(true);
+        self.loads.push(0.0);
+        self.limits
+            .push(session.max_outstanding.map_or(f64::INFINITY, |l| l as f64));
+        idx
+    }
+
+    /// Retire node `node` gracefully: its pending (never-started,
+    /// ledger-backed) jobs move onto peers first (`jobs_requeued`), it
+    /// then drains — records banked for the next [`Executor::drain`],
+    /// minus the speculative executions of the moved jobs — and shuts
+    /// down. The slot index is never reused. Rejects removing a dead
+    /// node or the last live one.
+    pub fn remove_node(&mut self, node: usize) -> Result<(), ExecError> {
+        if !self.is_alive(node) {
+            return Err(ExecError::Rejected(format!("node {node} is not live")));
+        }
+        if self.live_nodes() == 1 {
+            return Err(ExecError::Rejected(
+                "cannot remove the last live node".into(),
+            ));
+        }
+        // Close the node to routing before moving its queue, so the
+        // requeues below cannot land back on it.
+        self.alive[node] = false;
+        // 1. Move the pending queue onto peers. Only never-started
+        //    ledger-backed jobs move (a started batch is already
+        //    executing node-side); their node-local records are
+        //    discarded below — the peer's execution is the one that
+        //    counts.
+        let mut discard: HashSet<u64> = HashSet::new();
+        if self.cloner.is_some() {
+            let mut pending: Vec<u64> = self
+                .route
+                // det-ok: ids are collected into a Vec and sorted
+                // before any routing decision is made from them.
+                .iter()
+                .filter(|(id, r)| r.node == node && !r.started && self.retained.contains_key(*id))
+                .map(|(&id, _)| id)
+                .collect();
+            pending.sort_unstable();
+            for id in pending {
+                let r = self.route.remove(&id).expect("pending id is routed");
+                let keep = self.retained.remove(&id).expect("pending id is retained");
+                let cloner = self.cloner.expect("a retained spec implies a cloner");
+                match self.place_anywhere(cloner(&keep.spec)) {
+                    Ok((new_node, local)) => {
+                        discard.insert(r.local);
+                        self.route.insert(
+                            id,
+                            NodeRoute {
+                                node: new_node,
+                                local,
+                                started: false,
+                            },
+                        );
+                        self.retained.insert(id, keep);
+                        self.exec_extras.bump("jobs_requeued", 1.0);
+                    }
+                    Err(_) => {
+                        // No peer can take it: leave it on the leaving
+                        // node, whose drain below executes it locally.
+                        self.route.insert(id, r);
+                        self.retained.insert(id, keep);
+                    }
+                }
+            }
+        }
+        // 2. Drain the leaving node and bank its records (minus the
+        //    moved jobs' speculative executions) for the next cluster
+        //    drain.
+        self.mark_started(node);
+        self.nodes[node].ep.send(NODE, T_CTRL, vec![OP_DRAIN]);
+        match self.rpc_recv(node) {
+            Ok(p) if p.first() == Some(&ACK_OK) => {
+                let (recs, extras) = decode_drain_ok(&p);
+                let mut recs_out = Vec::new();
+                let mut merged = std::mem::take(&mut self.banked_extras);
+                self.fold_node_records(node, recs, extras, &discard, &mut recs_out, &mut merged);
+                self.banked_jobs.append(&mut recs_out);
+                self.banked_extras = merged;
+            }
+            Ok(p) => {
+                let err = wire::decode_err(&p, node, self.node_error(node));
+                if matches!(err, ExecError::NodeFailed { .. }) {
+                    // Died while leaving: fall through to the failure
+                    // path (alive is restored so the handler runs).
+                    self.alive[node] = true;
+                    self.handle_node_down(node);
+                    return Ok(());
+                }
+                // A failed drain loses the node's batch, exactly like a
+                // failed drain on the bare backend; still shut it down.
+                self.exec_extras
+                    .bump("jobs_orphaned", self.jobs_on(node) as f64);
+                self.forget_routes_on(node);
+            }
+            Err(ExecError::NodeFailed { .. }) => {
+                self.alive[node] = true;
+                self.handle_node_down(node);
+                return Ok(());
+            }
+            Err(e) => {
+                self.alive[node] = true;
+                return Err(e);
+            }
+        }
+        // 3. Shut the agent down and join it.
+        self.nodes[node].ep.send(NODE, T_CTRL, vec![OP_SHUTDOWN]);
+        if let Some(agent) = self.nodes[node].agent.take() {
+            let _ = agent.join();
+        }
+        self.loads[node] = 0.0;
+        self.exec_extras.set(format!("node{node}.removed"), 1.0);
+        Ok(())
+    }
+
+    /// Route entries currently pointing at `node`.
+    fn jobs_on(&self, node: usize) -> usize {
+        // det-ok: counting is order-insensitive.
+        self.route.values().filter(|r| r.node == node).count()
+    }
+
+    /// Drop every route/ledger entry pointing at `node` (their tickets
+    /// redeem as `UnknownTicket` from here on).
+    fn forget_routes_on(&mut self, node: usize) {
+        let ids: Vec<u64> = self
+            .route
+            // det-ok: ids are collected into a Vec; the per-id removals
+            // below are order-insensitive.
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            self.route.remove(&id);
+            self.retained.remove(&id);
+        }
     }
 
     /// Fold every pending load report into the routing view (newest
-    /// report per node wins).
+    /// report per node wins; dead nodes stay pinned at 0).
     fn refresh_loads(&mut self) {
         for (i, load) in self.loads.iter_mut().enumerate() {
-            if let Some(p) = self.ep.try_recv_latest(Self::rank(i), T_LOAD) {
+            if !self.alive[i] {
+                continue;
+            }
+            if let Some(p) = self.nodes[i].ep.try_recv_latest(NODE, T_LOAD) {
                 if let Some(&v) = p.first() {
                     *load = v;
                 }
@@ -307,31 +668,43 @@ impl<G> Cluster<G> {
         }
     }
 
-    /// Wire messages this dispatcher has sent, ever — the traffic the
-    /// batch path amortises. One `submit` costs one control message; a
-    /// [`Executor::submit_many`] batch costs one control message **per
-    /// node with a non-empty sub-batch** regardless of batch size (the
-    /// contract `tests/cluster_exec.rs` asserts).
+    /// Wire messages this dispatcher has sent, ever (summed over the
+    /// per-node links) — the traffic the batch path amortises. One
+    /// `submit` costs one control message; a [`Executor::submit_many`]
+    /// batch costs one control message **per node with a non-empty
+    /// sub-batch** regardless of batch size (the contract
+    /// `tests/cluster_exec.rs` asserts).
     pub fn wire_messages_sent(&self) -> u64 {
-        self.ep.sent_count()
+        self.nodes.iter().map(|s| s.ep.sent_count()).sum()
     }
 
     /// The typed overload error for a shed decision, attributing the
     /// pressure to the full node(s): their reported outstanding counts
     /// and bounds, summed. For a full single pick these are that node's
     /// numbers; when every node is full (`LoadShed`) it is the
-    /// cluster-wide pressure. Only full nodes enter the sums, so the
-    /// casts are finite.
+    /// cluster-wide pressure. Only live full nodes enter the sums, so
+    /// the casts are finite.
     fn overloaded(&self) -> ExecError {
         let (outstanding, limit) = self
             .loads
             .iter()
             .zip(&self.limits)
-            .filter(|(load, limit)| *load >= *limit)
-            .fold((0usize, 0usize), |(o, l), (load, limit)| {
+            .zip(&self.alive)
+            .filter(|((load, limit), alive)| **alive && *load >= *limit)
+            .fold((0usize, 0usize), |(o, l), ((load, limit), _)| {
                 (o + *load as usize, l + *limit as usize)
             });
         ExecError::Overloaded { outstanding, limit }
+    }
+
+    /// The routing error when no node can take a job: every node dead,
+    /// or every live node full.
+    fn no_pick_error(&self) -> ExecError {
+        if self.live_nodes() == 0 {
+            ExecError::Failed("every node is down".into())
+        } else {
+            self.overloaded()
+        }
     }
 
     /// The node's side-channel error string (set before every error
@@ -344,6 +717,229 @@ impl<G> Cluster<G> {
             format!("node {node}: {msg}")
         }
     }
+
+    /// Receive one control acknowledgement from `node` under the
+    /// bounded-backoff deadline. A missing frame becomes
+    /// [`ExecError::NodeFailed`] if the agent's down flag is up (the
+    /// frame race lost), else a typed [`ExecError::Timeout`] — never a
+    /// hang.
+    fn rpc_recv(&self, node: usize) -> Result<Payload, ExecError> {
+        match self.nodes[node]
+            .ep
+            .recv_backoff(NODE, T_ACK, self.rpc_base, self.rpc_attempts)
+        {
+            Ok((p, _)) => Ok(p),
+            Err(waited) => {
+                if self.nodes[node].down.load(Ordering::Acquire) {
+                    Err(ExecError::NodeFailed { node })
+                } else {
+                    Err(ExecError::Timeout {
+                        waited_ms: waited.as_millis() as u64,
+                    })
+                }
+            }
+        }
+    }
+
+    /// A `wait` or `drain` reaching `node` executes its whole pending
+    /// batch: everything currently routed there counts as started from
+    /// here on (the recovery plane's at-most-once boundary).
+    fn mark_started(&mut self, node: usize) {
+        // det-ok: order-insensitive flag set; every matching entry gets
+        // the same value regardless of visit order.
+        for r in self.route.values_mut() {
+            if r.node == node {
+                r.started = true;
+            }
+        }
+    }
+
+    /// Node `node` is gone: mark it dead, join the agent, attribute the
+    /// failure, and repair the route table — never-started ledger jobs
+    /// requeue onto survivors, started ones retry at most once, the
+    /// rest are recorded as lost. Idempotent per node.
+    fn handle_node_down(&mut self, node: usize) {
+        if !self.alive[node] {
+            return;
+        }
+        self.alive[node] = false;
+        self.loads[node] = 0.0;
+        if let Some(agent) = self.nodes[node].agent.take() {
+            let _ = agent.join();
+        }
+        self.exec_extras.set(format!("node{node}.failed"), 1.0);
+        let mut stranded: Vec<u64> = self
+            .route
+            // det-ok: ids are collected into a Vec and sorted before
+            // any routing decision is made from them.
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(&id, _)| id)
+            .collect();
+        stranded.sort_unstable();
+        for id in stranded {
+            let r = self.route.remove(&id).expect("stranded id is routed");
+            let Some(mut keep) = self.retained.remove(&id) else {
+                self.lost.insert(id, node);
+                self.exec_extras.bump("jobs_lost", 1.0);
+                continue;
+            };
+            if r.started && keep.retried {
+                // The single retry is spent: at-most-once means this
+                // job dies with its second node.
+                self.lost.insert(id, node);
+                self.exec_extras.bump("jobs_lost", 1.0);
+                continue;
+            }
+            let cloner = self.cloner.expect("a retained spec implies a cloner");
+            match self.place_anywhere(cloner(&keep.spec)) {
+                Ok((new_node, local)) => {
+                    if r.started {
+                        keep.retried = true;
+                        self.exec_extras.bump("retries", 1.0);
+                    } else {
+                        self.exec_extras.bump("jobs_requeued", 1.0);
+                    }
+                    self.route.insert(
+                        id,
+                        NodeRoute {
+                            node: new_node,
+                            local,
+                            started: false,
+                        },
+                    );
+                    self.retained.insert(id, keep);
+                }
+                Err(_) => {
+                    self.lost.insert(id, node);
+                    self.exec_extras.bump("jobs_lost", 1.0);
+                }
+            }
+        }
+    }
+
+    /// Send one spec to one node and await its admission ack. A dead
+    /// side channel or a death frame surfaces as
+    /// [`ExecError::NodeFailed`]; the caller decides on recovery.
+    fn place_one(&mut self, node: usize, spec: JobSpec<G>) -> Result<u64, ExecError> {
+        if self.nodes[node].tx.send(spec).is_err() {
+            // The agent's receiver is gone: the thread exited without
+            // the dispatcher noticing yet.
+            return Err(ExecError::NodeFailed { node });
+        }
+        self.nodes[node].ep.send(NODE, T_CTRL, vec![OP_SUBMIT]);
+        let ack = self.rpc_recv(node)?;
+        if ack.first() != Some(&ACK_OK) {
+            return Err(wire::decode_err(&ack, node, self.node_error(node)));
+        }
+        Ok(ack[1] as u64)
+    }
+
+    /// Place one spec on whichever live node routing picks, absorbing
+    /// node deaths along the way (each death repairs the cluster and
+    /// re-picks; terminates because every pass burns a node). Returns
+    /// the `(node, local id)` of the admission.
+    fn place_anywhere(&mut self, spec: JobSpec<G>) -> Result<(usize, u64), ExecError> {
+        let mut spec = spec;
+        loop {
+            self.refresh_loads();
+            let Some(node) = route::pick(
+                self.policy,
+                &self.loads,
+                &self.limits,
+                &self.alive,
+                &mut self.rr,
+                &mut self.rng,
+            ) else {
+                return Err(self.no_pick_error());
+            };
+            let backup = self.cloner.map(|c| c(&spec));
+            match self.place_one(node, spec) {
+                Ok(local) => return Ok((node, local)),
+                Err(ExecError::NodeFailed { node: dead }) => {
+                    self.handle_node_down(dead);
+                    match backup {
+                        Some(b) => spec = b,
+                        None => return Err(ExecError::NodeFailed { node: dead }),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Remap one node's drained records onto cluster ids, attribute
+    /// them (and the node's extras) in `merged`, and push them into
+    /// `jobs`. Records in `discard` (a leaving node's speculative
+    /// executions of moved jobs) are dropped; records with no route
+    /// entry count as `jobs_orphaned` (reachable via dropped acks —
+    /// the node admitted work the dispatcher never ticketed).
+    fn fold_node_records(
+        &mut self,
+        node: usize,
+        recs: Vec<JobStats>,
+        extras: ExecExtras,
+        discard: &HashSet<u64>,
+        jobs: &mut Vec<JobStats>,
+        merged: &mut ExecExtras,
+    ) {
+        let mut map: HashMap<u64, u64> = self
+            .route
+            // det-ok: an order-insensitive fold into a keyed map; the
+            // job records built from it are sorted by from_jobs at the
+            // emission point and extras are keyed per node, not per
+            // job.
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(&cluster, r)| (r.local, cluster))
+            .collect();
+        let mut kept = 0.0;
+        for mut rec in recs {
+            if discard.contains(&rec.id.0) {
+                continue;
+            }
+            match map.remove(&rec.id.0) {
+                Some(cluster) => {
+                    self.route.remove(&cluster);
+                    self.retained.remove(&cluster);
+                    rec.id = JobId(cluster);
+                    jobs.push(rec);
+                    kept += 1.0;
+                }
+                None => {
+                    merged.bump("jobs_orphaned", 1.0);
+                }
+            }
+        }
+        merged.bump(&format!("node{node}.jobs"), kept);
+        if let Some(s) = extras.steals {
+            merged.bump(&format!("node{node}.steals"), s as f64);
+        }
+        if let Some(ev) = extras.events {
+            merged.bump(&format!("node{node}.events"), ev as f64);
+        }
+        merged.absorb(extras);
+    }
+}
+
+/// Split a combined drain reply `[ACK_OK, jobs, tasks, records…,
+/// extras]` into decoded records and extras, cross-checking the header
+/// counts against the decoded body (a wire-format regression trips
+/// here, not in a silently wrong percentile).
+fn decode_drain_ok(p: &[f64]) -> (Vec<JobStats>, ExecExtras) {
+    assert!(p.len() >= 3 + wire::EXTRAS_SLOTS, "drain reply misframed");
+    let jobs_count = p[1] as usize;
+    let tasks_total = p[2] as usize;
+    let body = &p[3..];
+    let (recs, ext) = body.split_at(body.len() - wire::EXTRAS_SLOTS);
+    let recs = wire::decode_jobs(recs);
+    assert_eq!(recs.len(), jobs_count, "drain job-count mismatch");
+    assert_eq!(
+        recs.iter().map(|j| j.tasks).sum::<usize>(),
+        tasks_total,
+        "drain task-count mismatch"
+    );
+    (recs, wire::decode_extras(ext))
 }
 
 impl<G> Executor for Cluster<G> {
@@ -357,29 +953,31 @@ impl<G> Executor for Cluster<G> {
     /// acknowledged node-local id into the cluster's route table.
     /// Cluster job ids are dense in submission order across the whole
     /// cluster (rejected jobs consume no id, as on the bare backends).
+    /// With recovery enabled a spec copy enters the ledger; a node
+    /// death during the placement is absorbed (the stranded jobs of the
+    /// dead node requeue first, then this job re-places on a survivor).
     fn submit(&mut self, spec: JobSpec<G>) -> Result<Ticket, ExecError> {
-        self.refresh_loads();
-        let node = route::pick(
-            self.policy,
-            &self.loads,
-            &self.limits,
-            &mut self.rr,
-            &mut self.rng,
-        )
-        .ok_or_else(|| self.overloaded())?;
-        self.nodes[node]
-            .tx
-            .send(spec)
-            .map_err(|_| ExecError::Failed(format!("node {node} is down")))?;
-        self.ep.send(Self::rank(node), T_CTRL, vec![OP_SUBMIT]);
-        let ack = self.ep.recv(Self::rank(node), T_ACK);
-        if ack.first() != Some(&ACK_OK) {
-            return Err(wire::decode_err(&ack, self.node_error(node)));
-        }
-        let local = ack[1] as u64;
+        let keep = self.cloner.map(|c| c(&spec));
+        let (node, local) = self.place_anywhere(spec)?;
         let id = JobId(self.next_job);
         self.next_job += 1;
-        self.route.insert(id.0, NodeRoute { node, local });
+        self.route.insert(
+            id.0,
+            NodeRoute {
+                node,
+                local,
+                started: false,
+            },
+        );
+        if let Some(spec) = keep {
+            self.retained.insert(
+                id.0,
+                Retained {
+                    spec,
+                    retried: false,
+                },
+            );
+        }
         Ok(Ticket::new(self.exec_session, id))
     }
 
@@ -399,19 +997,23 @@ impl<G> Executor for Cluster<G> {
     /// admits nothing on that node (backend batches are atomic on
     /// validation), but the sub-batches of other nodes remain admitted
     /// and surface in the next drain — their tickets are lost with the
-    /// error, exactly like a failed batch on the bare backends.
+    /// error, exactly like a failed batch on the bare backends. A node
+    /// *dying* on its sub-batch is recovered: with the ledger on, its
+    /// positions re-place onto survivors (`jobs_requeued`).
     fn submit_many(&mut self, specs: Vec<JobSpec<G>>) -> Result<Vec<Ticket>, ExecError> {
         if specs.is_empty() {
             return Err(ExecError::Rejected("empty batch".into()));
         }
         self.refresh_loads();
+        let total = specs.len();
         // Phase 1: route every job against the locally-updated view.
-        let mut assignment = Vec::with_capacity(specs.len());
+        let mut assignment = Vec::with_capacity(total);
         for _ in &specs {
             match route::pick(
                 self.policy,
                 &self.loads,
                 &self.limits,
+                &self.alive,
                 &mut self.rr,
                 &mut self.rng,
             ) {
@@ -420,7 +1022,7 @@ impl<G> Executor for Cluster<G> {
                     assignment.push(node);
                 }
                 None => {
-                    let err = self.overloaded();
+                    let err = self.no_pick_error();
                     for &node in &assignment {
                         self.loads[node] -= 1.0;
                     }
@@ -428,6 +1030,11 @@ impl<G> Executor for Cluster<G> {
                 }
             }
         }
+        // Ledger copies, one per position, while recovery is on.
+        let mut kept: Vec<Option<JobSpec<G>>> = match self.cloner {
+            Some(c) => specs.iter().map(|s| Some(c(s))).collect(),
+            None => (0..total).map(|_| None).collect(),
+        };
         // Phase 2: per-node sub-batches (batch order within each node),
         // one side-channel transfer per job, ONE control message per
         // node.
@@ -438,6 +1045,7 @@ impl<G> Executor for Cluster<G> {
         }
         let mut slots: Vec<Option<JobSpec<G>>> = specs.into_iter().map(Some).collect();
         let mut doorbelled = vec![false; n];
+        let mut died: Vec<usize> = Vec::new();
         let mut first_err: Option<ExecError> = None;
         for (node, group) in groups.iter().enumerate() {
             if group.is_empty() {
@@ -448,44 +1056,121 @@ impl<G> Executor for Cluster<G> {
                 self.nodes[node].tx.send(spec).is_ok()
             });
             if !fed {
-                // Dead agent: no doorbell (nothing will drain the side
-                // channel), the sub-batch is simply lost.
-                first_err.get_or_insert_with(|| ExecError::Failed(format!("node {node} is down")));
+                // Dead agent discovered at the side channel: recover
+                // the whole sub-batch below.
+                died.push(node);
                 continue;
             }
-            self.ep.send(
-                Self::rank(node),
-                T_CTRL,
-                vec![OP_SUBMIT_MANY, group.len() as f64],
-            );
+            self.nodes[node]
+                .ep
+                .send(NODE, T_CTRL, vec![OP_SUBMIT_MANY, group.len() as f64]);
             doorbelled[node] = true;
         }
         // Phase 3: collect one batch ack per doorbelled node (node
-        // order; the agents work concurrently regardless).
-        let mut locals: Vec<std::collections::VecDeque<u64>> = vec![Default::default(); n];
+        // order; the agents work concurrently regardless). Deaths are
+        // only recorded here — every outstanding ack must be consumed
+        // before any recovery traffic, or a requeue's ack would
+        // interleave with a pending batch ack on the same link.
+        let mut locals: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
         for node in 0..n {
             if !doorbelled[node] {
                 continue;
             }
-            let ack = self.ep.recv(Self::rank(node), T_ACK);
-            if ack.first() == Some(&ACK_OK) {
-                let k = ack[1] as usize;
-                debug_assert_eq!(k, groups[node].len());
-                locals[node] = ack[2..2 + k].iter().map(|&v| v as u64).collect();
-            } else {
-                first_err.get_or_insert_with(|| wire::decode_err(&ack, self.node_error(node)));
+            match self.rpc_recv(node) {
+                Ok(ack) if ack.first() == Some(&ACK_OK) => {
+                    let k = ack[1] as usize;
+                    debug_assert_eq!(k, groups[node].len());
+                    locals[node] = ack[2..2 + k].iter().map(|&v| v as u64).collect();
+                }
+                Ok(ack) => {
+                    let err = wire::decode_err(&ack, node, self.node_error(node));
+                    if matches!(err, ExecError::NodeFailed { .. }) {
+                        died.push(node);
+                    } else {
+                        first_err.get_or_insert(err);
+                    }
+                }
+                Err(ExecError::NodeFailed { .. }) => died.push(node),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        // Phase 3b: repair each death, then re-place its sub-batch
+        // positions (batch order) onto survivors from the ledger.
+        let mut moved: HashMap<usize, (usize, u64)> = HashMap::new();
+        for dead in died {
+            self.handle_node_down(dead);
+            for &pos in &groups[dead] {
+                let replay = kept[pos]
+                    .as_ref()
+                    .map(|k| (self.cloner.expect("a kept spec implies a cloner"))(k));
+                let Some(spec) = replay else {
+                    first_err.get_or_insert(ExecError::NodeFailed { node: dead });
+                    continue;
+                };
+                match self.place_anywhere(spec) {
+                    Ok(placed) => {
+                        moved.insert(pos, placed);
+                        self.exec_extras.bump("jobs_requeued", 1.0);
+                    }
+                    Err(e) => {
+                        kept[pos] = None;
+                        first_err.get_or_insert(e);
+                    }
+                }
             }
         }
         // Phase 4: cluster ids, dense in batch order over the admitted
         // jobs (a rejected sub-batch consumes no ids).
-        let mut tickets = Vec::with_capacity(assignment.len());
-        for &node in &assignment {
-            if let Some(local) = locals[node].pop_front() {
-                let id = JobId(self.next_job);
-                self.next_job += 1;
-                self.route.insert(id.0, NodeRoute { node, local });
-                tickets.push(Ticket::new(self.exec_session, id));
+        let mut tickets = Vec::with_capacity(total);
+        for (pos, &node) in assignment.iter().enumerate() {
+            let placed = moved
+                .remove(&pos)
+                .or_else(|| locals[node].pop_front().map(|local| (node, local)));
+            let Some((mut node, mut local)) = placed else {
+                continue;
+            };
+            let id = JobId(self.next_job);
+            self.next_job += 1;
+            if !self.alive[node] {
+                // The node died after admitting this position (during
+                // another position's recovery): re-place from the
+                // ledger, or record the loss.
+                let replay = kept[pos]
+                    .as_ref()
+                    .map(|k| (self.cloner.expect("a kept spec implies a cloner"))(k));
+                match replay.map(|s| self.place_anywhere(s)) {
+                    Some(Ok(placed)) => {
+                        (node, local) = placed;
+                        self.exec_extras.bump("jobs_requeued", 1.0);
+                    }
+                    Some(Err(_)) | None => {
+                        self.lost.insert(id.0, node);
+                        self.exec_extras.bump("jobs_lost", 1.0);
+                        tickets.push(Ticket::new(self.exec_session, id));
+                        continue;
+                    }
+                }
             }
+            self.route.insert(
+                id.0,
+                NodeRoute {
+                    node,
+                    local,
+                    started: false,
+                },
+            );
+            if let Some(spec) = kept[pos].take() {
+                self.retained.insert(
+                    id.0,
+                    Retained {
+                        spec,
+                        retried: false,
+                    },
+                );
+            }
+            tickets.push(Ticket::new(self.exec_session, id));
         }
         match first_err {
             Some(e) => Err(e),
@@ -495,124 +1180,165 @@ impl<G> Executor for Cluster<G> {
 
     /// Redeem a ticket against the node its job was routed to; the
     /// returned record carries the cluster job id and consumes the
-    /// job's drain record (node-side and in the route table).
+    /// job's drain record (node-side and in the route table). A node
+    /// death during the wait repairs the cluster and retries the wait
+    /// wherever the job landed; a job the failure plane could not save
+    /// redeems as [`ExecError::NodeFailed`].
     fn wait(&mut self, ticket: Ticket) -> Result<JobStats, ExecError> {
         let id = ticket.job();
         if ticket.session() != self.exec_session {
             return Err(ExecError::UnknownTicket(id));
         }
-        let Some(NodeRoute { node, local }) = self.route.remove(&id.0) else {
-            return Err(ExecError::UnknownTicket(id));
-        };
-        self.ep
-            .send(Self::rank(node), T_CTRL, vec![OP_WAIT, local as f64]);
-        let ack = self.ep.recv(Self::rank(node), T_ACK);
-        if ack.first() != Some(&ACK_OK) {
-            let err = wire::decode_err(&ack, self.node_error(node));
-            // Remap the node-local id in the error onto the cluster id.
-            return Err(match err {
-                ExecError::UnknownTicket(_) => ExecError::UnknownTicket(id),
-                other => other,
-            });
+        loop {
+            if let Some(node) = self.lost.remove(&id.0) {
+                return Err(ExecError::NodeFailed { node });
+            }
+            let Some(&NodeRoute { node, local, .. }) = self.route.get(&id.0) else {
+                return Err(ExecError::UnknownTicket(id));
+            };
+            self.mark_started(node);
+            self.nodes[node]
+                .ep
+                .send(NODE, T_CTRL, vec![OP_WAIT, local as f64]);
+            match self.rpc_recv(node) {
+                Ok(ack) if ack.first() == Some(&ACK_OK) => {
+                    self.route.remove(&id.0);
+                    self.retained.remove(&id.0);
+                    let mut stats = wire::decode_jobs(&ack[1..]).pop().ok_or_else(|| {
+                        ExecError::Failed(format!("node {node}: empty wait reply"))
+                    })?;
+                    stats.id = id;
+                    return Ok(stats);
+                }
+                Ok(ack) => {
+                    let err = wire::decode_err(&ack, node, self.node_error(node));
+                    match err {
+                        ExecError::NodeFailed { node: dead } => {
+                            // Repair and retry: the waited job either
+                            // re-placed (loop waits on its new node) or
+                            // is now in the lost set (loop returns the
+                            // typed failure).
+                            self.handle_node_down(dead);
+                        }
+                        // Remap the node-local id in the error onto the
+                        // cluster id.
+                        ExecError::UnknownTicket(_) => {
+                            self.route.remove(&id.0);
+                            self.retained.remove(&id.0);
+                            return Err(ExecError::UnknownTicket(id));
+                        }
+                        other => {
+                            self.route.remove(&id.0);
+                            self.retained.remove(&id.0);
+                            return Err(other);
+                        }
+                    }
+                }
+                Err(ExecError::NodeFailed { .. }) => {
+                    self.handle_node_down(node);
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let mut stats = wire::decode_jobs(&ack[1..])
-            .pop()
-            .ok_or_else(|| ExecError::Failed(format!("node {node}: empty wait reply")))?;
-        stats.id = id;
-        Ok(stats)
     }
 
-    /// Drain every node in parallel and merge the per-node results via
-    /// the collective epilogue: `gather` (records), `gather` (extras),
-    /// then a summing `reduce` whose totals cross-check the decoded
-    /// records — a wire-format regression tripping here, not in a
-    /// silently wrong percentile. On a node failure the whole drain
-    /// fails and the outstanding jobs of the failed batch are lost
-    /// (mirroring the bare simulator's batch-failure semantics).
+    /// Drain every live node and merge the per-node results. Each node
+    /// answers with one combined reply whose header cross-checks the
+    /// decoded records. A node death mid-drain requeues its stranded
+    /// jobs onto survivors and triggers another round, so the stream
+    /// still completes (deaths are handled only *after* a round's acks
+    /// are all consumed — recovery traffic must not interleave with
+    /// pending drain acks). A missing reply within the RPC deadline is
+    /// a typed [`ExecError::Timeout`], never a hang — the fix for the
+    /// forever-blocking drain of the collective design. On a node
+    /// *error* (not death) the whole drain fails and the outstanding
+    /// jobs of the failed batch are lost (mirroring the bare
+    /// simulator's batch-failure semantics).
     fn drain(&mut self) -> Result<StreamStats, ExecError> {
-        let n = self.nodes.len();
-        for node in 0..n {
-            self.ep.send(Self::rank(node), T_CTRL, vec![OP_DRAIN]);
+        let mut jobs = std::mem::take(&mut self.banked_jobs);
+        let mut merged = std::mem::take(&mut self.banked_extras);
+        let no_discard = HashSet::new();
+        let mut failures: Vec<usize> = Vec::new();
+        let mut hard_err: Option<ExecError> = None;
+        loop {
+            let targets: Vec<usize> = (0..self.nodes.len()).filter(|&i| self.alive[i]).collect();
+            if targets.is_empty() {
+                break;
+            }
+            for &node in &targets {
+                self.mark_started(node);
+                self.nodes[node].ep.send(NODE, T_CTRL, vec![OP_DRAIN]);
+            }
+            let mut died: Vec<usize> = Vec::new();
+            for &node in &targets {
+                match self.rpc_recv(node) {
+                    Ok(p) if p.first() == Some(&ACK_OK) => {
+                        let (recs, extras) = decode_drain_ok(&p);
+                        self.fold_node_records(
+                            node,
+                            recs,
+                            extras,
+                            &no_discard,
+                            &mut jobs,
+                            &mut merged,
+                        );
+                    }
+                    Ok(p) => {
+                        let err = wire::decode_err(&p, node, self.node_error(node));
+                        if matches!(err, ExecError::NodeFailed { .. }) {
+                            died.push(node);
+                        } else {
+                            failures.push(node);
+                        }
+                    }
+                    Err(ExecError::NodeFailed { .. }) => died.push(node),
+                    Err(e) => {
+                        hard_err.get_or_insert(e);
+                    }
+                }
+            }
+            self.refresh_loads();
+            if died.is_empty() {
+                break;
+            }
+            // Repair after the whole round's acks are in; the requeued
+            // jobs land on survivors, which the next round drains.
+            for node in died {
+                self.handle_node_down(node);
+            }
         }
-        let records = self
-            .ep
-            .gather(DISPATCHER, Payload::new())
-            .expect("rank 0 gathers");
-        let extras = self
-            .ep
-            .gather(DISPATCHER, Payload::new())
-            .expect("rank 0 gathers");
-        let totals = self
-            .ep
-            .reduce(DISPATCHER, ReduceOp::Sum, vec![0.0; 3])
-            .expect("rank 0 reduces");
-        self.refresh_loads();
-        if totals[0] > 0.0 {
-            let why = (0..n)
-                .filter(|&i| !self.nodes[i].errs.lock().is_empty())
-                .map(|i| self.node_error(i))
+        if let Some(e) = hard_err {
+            // A silent node leaves the drained state unknowable: drop
+            // this cycle's bookkeeping and surface the typed error.
+            self.route.clear();
+            self.retained.clear();
+            return Err(e);
+        }
+        if !failures.is_empty() {
+            let why = failures
+                .iter()
+                .map(|&i| self.node_error(i))
                 .collect::<Vec<_>>()
                 .join("; ");
             self.route.clear();
-            return Err(ExecError::Failed(if why.is_empty() {
-                "cluster drain failed".into()
-            } else {
-                why
-            }));
-        }
-
-        // Remap node-local ids onto cluster ids through the route table
-        // (exactly the submitted-but-unwaited jobs are drained).
-        let mut reverse: HashMap<(usize, u64), u64> = self
-            .route
-            // det-ok: an order-insensitive fold into a keyed map; the
-            // job records built from it are sorted by from_jobs at the
-            // emission point and extras are keyed per node, not per job.
-            .drain()
-            .map(|(cluster, r)| ((r.node, r.local), cluster))
-            .collect();
-        let mut jobs: Vec<JobStats> = Vec::new();
-        let mut merged = ExecExtras::default();
-        for node in 0..n {
-            let rank = Self::rank(node);
-            let node_jobs = wire::decode_jobs(&records[rank]);
-            merged.bump(&format!("node{node}.jobs"), node_jobs.len() as f64);
-            for mut j in node_jobs {
-                let cluster = reverse
-                    .remove(&(node, j.id.0))
-                    .expect("node drained a job the dispatcher never routed to it");
-                j.id = JobId(cluster);
-                jobs.push(j);
-            }
-            let e = wire::decode_extras(&extras[rank]);
-            if let Some(s) = e.steals {
-                merged.bump(&format!("node{node}.steals"), s as f64);
-            }
-            if let Some(ev) = e.events {
-                merged.bump(&format!("node{node}.events"), ev as f64);
-            }
-            merged.absorb(e);
+            self.retained.clear();
+            return Err(ExecError::Failed(why));
         }
         // Route entries left over after a full drain belong to jobs an
         // *earlier failed batch* lost (a `wait` that returned `Failed`
         // loses its node's whole pending batch, but the dispatcher only
         // learns about the waited job): drop them, exactly as the bare
         // simulator forgets a failed batch — their tickets redeem as
-        // `UnknownTicket` from here on. Wire-format integrity is
-        // guarded by the reduce cross-check below, not by this set.
-        drop(reverse);
-        // The reduced totals must agree with the decoded records.
-        assert_eq!(totals[1] as usize, jobs.len(), "drain job-count mismatch");
-        assert_eq!(
-            totals[2] as usize,
-            jobs.iter().map(|j| j.tasks).sum::<usize>(),
-            "drain task-count mismatch"
-        );
+        // `UnknownTicket` from here on. (Jobs the failure plane
+        // recorded as lost stay in the lost set and keep redeeming as
+        // `NodeFailed`.)
+        self.route.clear();
+        self.retained.clear();
         self.exec_extras.absorb(merged);
         // The cluster size is a fact, not a counter: write it with set
         // semantics *after* the absorb so repeated drains between two
         // `take_extras` calls do not sum it into nonsense.
-        self.exec_extras.set("nodes", n as f64);
+        self.exec_extras.set("nodes", self.live_nodes() as f64);
         Ok(StreamStats::from_jobs(jobs))
     }
 
@@ -624,11 +1350,72 @@ impl<G> Executor for Cluster<G> {
 impl<G> Drop for Cluster<G> {
     fn drop(&mut self) {
         for node in 0..self.nodes.len() {
-            self.ep.send(Self::rank(node), T_CTRL, vec![OP_SHUTDOWN]);
+            if self.alive[node] {
+                self.nodes[node].ep.send(NODE, T_CTRL, vec![OP_SHUTDOWN]);
+            }
         }
-        for agent in self.agents.drain(..) {
-            let _ = agent.join();
+        for slot in &mut self.nodes {
+            if let Some(agent) = slot.agent.take() {
+                let _ = agent.join();
+            }
         }
+    }
+}
+
+/// Spawn one node: a private 2-rank link, the spec side channel, and
+/// the agent thread. The thread body runs under `catch_unwind`: on a
+/// panic (a scheduled kill, or an agent bug) the wrapper records the
+/// panic message, publishes the down flag — `Release`, paired with the
+/// dispatcher's `Acquire` in `rpc_recv` — and sends `ERR_NODE_FAILED`
+/// as its last frame, so a dispatcher blocked on this command's ack
+/// observes the death deterministically instead of timing out.
+fn spawn_node<E>(i: usize, exec: E, plane: FaultPlane) -> NodeSlot<E::Graph>
+where
+    E: Executor + Send + 'static,
+    E::Graph: Send + 'static,
+{
+    let comm = Communicator::new(2);
+    let agent_ep = comm.endpoint(NODE);
+    let last_frame_ep = agent_ep.clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let errs = Arc::new(Mutex::new(String::new()));
+    let down = Arc::new(AtomicBool::new(false));
+    let errs_agent = Arc::clone(&errs);
+    let down_agent = Arc::clone(&down);
+    let agent = std::thread::Builder::new()
+        .name(format!("das-cluster-node-{i}"))
+        .spawn(move || {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                node_agent(exec, agent_ep, rx, &errs_agent, plane);
+            }));
+            if let Err(payload) = run {
+                *errs_agent.lock() = panic_text(payload.as_ref());
+                down_agent.store(true, Ordering::Release);
+                last_frame_ep.send(
+                    DISPATCHER,
+                    T_ACK,
+                    vec![wire::ACK_ERR, wire::ERR_NODE_FAILED, i as f64],
+                );
+            }
+        })
+        .expect("spawn cluster node agent");
+    NodeSlot {
+        tx,
+        errs,
+        ep: comm.endpoint(DISPATCHER),
+        down,
+        agent: Some(agent),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "node agent panicked".into()
     }
 }
 
@@ -655,18 +1442,49 @@ fn run_op<T>(errs: &Mutex<String>, f: impl FnOnce() -> Result<T, ExecError>) -> 
     }
 }
 
+/// Push this node's load report, as the fault plane allows: a `Slow`
+/// fault inflates the reported value (steering the policies away, the
+/// deterministic stand-in for a degraded node), `DropLoadReports`
+/// withholds it, `DelayLoadReports` sends the previous (stale) value.
+fn report_load(ep: &Endpoint, plane: &mut FaultPlane, last: &mut f64, outstanding: f64) {
+    let value = outstanding * plane.slow_factor();
+    if plane.drop_load_report() {
+        return;
+    }
+    if plane.delay_load_report() {
+        ep.send(DISPATCHER, T_LOAD, vec![*last]);
+        return;
+    }
+    *last = value;
+    ep.send(DISPATCHER, T_LOAD, vec![value]);
+}
+
+/// Send a command acknowledgement, unless a `DropAcks` fault withholds
+/// it (the dispatcher then surfaces a typed timeout).
+fn send_ack(ep: &Endpoint, plane: &mut FaultPlane, reply: Payload) {
+    if plane.drop_ack() {
+        return;
+    }
+    ep.send(DISPATCHER, T_ACK, reply);
+}
+
 /// The node agent loop: owns this node's executor, serves dispatcher
 /// commands, pushes a load report before every acknowledgement, and
-/// participates in the drain collectives. Node-local tickets live (and
-/// die) here.
+/// answers `drain` with one combined records+extras reply. Node-local
+/// tickets live (and die) here. The agent consults its [`FaultPlane`]
+/// at every admission and every outgoing frame — all triggers are
+/// logical (counts, not clocks), so injected faults reproduce
+/// bit-exactly.
 fn node_agent<E: Executor>(
     mut exec: E,
     ep: Endpoint,
     inbox: Receiver<JobSpec<E::Graph>>,
-    errs: Arc<Mutex<String>>,
+    errs: &Mutex<String>,
+    mut plane: FaultPlane,
 ) {
     let mut tickets: HashMap<u64, Ticket> = HashMap::new();
     let mut outstanding: f64 = 0.0;
+    let mut last_load: f64 = 0.0;
     loop {
         let cmd = ep.recv(DISPATCHER, T_CTRL);
         let op = cmd.first().copied().unwrap_or(OP_SHUTDOWN);
@@ -675,7 +1493,17 @@ fn node_agent<E: Executor>(
         } else if op == OP_SUBMIT {
             // The graph arrived on the side channel before the doorbell.
             let Ok(spec) = inbox.recv() else { return };
-            let reply = match run_op(&errs, || exec.submit(spec)) {
+            if plane.on_admit(1) {
+                // fault-ok: the scheduled Kill fault takes this agent
+                // down by design — the spawn wrapper catches the panic,
+                // publishes the down flag and sends the ERR_NODE_FAILED
+                // frame the blocked dispatcher is waiting on.
+                panic!(
+                    "fault plane: killed after {} admitted jobs",
+                    plane.admitted()
+                );
+            }
+            let reply = match run_op(errs, || exec.submit(spec)) {
                 Ok(ticket) => {
                     let local = ticket.job().0;
                     tickets.insert(local, ticket);
@@ -684,8 +1512,8 @@ fn node_agent<E: Executor>(
                 }
                 Err(p) => p,
             };
-            ep.send(DISPATCHER, T_LOAD, vec![outstanding]);
-            ep.send(DISPATCHER, T_ACK, reply);
+            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            send_ack(&ep, &mut plane, reply);
         } else if op == OP_SUBMIT_MANY {
             // One doorbell for a k-job sub-batch; the specs arrived on
             // the side channel in batch order.
@@ -695,9 +1523,17 @@ fn node_agent<E: Executor>(
                 let Ok(spec) = inbox.recv() else { return };
                 specs.push(spec);
             }
+            if plane.on_admit(k as u64) {
+                // fault-ok: scheduled Kill fault, caught by the spawn
+                // wrapper which reports ERR_NODE_FAILED — see OP_SUBMIT.
+                panic!(
+                    "fault plane: killed after {} admitted jobs",
+                    plane.admitted()
+                );
+            }
             // The backend batch is atomic on validation: on error the
             // node admits nothing and the count is untouched.
-            let reply = match run_op(&errs, || exec.submit_many(specs)) {
+            let reply = match run_op(errs, || exec.submit_many(specs)) {
                 Ok(batch) => {
                     let mut p = Vec::with_capacity(2 + batch.len());
                     p.push(ACK_OK);
@@ -712,8 +1548,8 @@ fn node_agent<E: Executor>(
                 }
                 Err(p) => p,
             };
-            ep.send(DISPATCHER, T_LOAD, vec![outstanding]);
-            ep.send(DISPATCHER, T_ACK, reply);
+            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            send_ack(&ep, &mut plane, reply);
         } else if op == OP_WAIT {
             // A missing id slot must take the error path, never alias a
             // real id (note `-1.0 as u64` would saturate to 0, a valid
@@ -740,7 +1576,7 @@ fn node_agent<E: Executor>(
                     // steering new jobs away from a node that just failed
                     // a batch is the right routing bias anyway.
                     outstanding -= 1.0;
-                    match run_op(&errs, || exec.wait(ticket)) {
+                    match run_op(errs, || exec.wait(ticket)) {
                         Ok(stats) => {
                             let mut p = vec![ACK_OK];
                             wire::push_job(&mut p, &stats);
@@ -750,28 +1586,31 @@ fn node_agent<E: Executor>(
                     }
                 }
             };
-            ep.send(DISPATCHER, T_LOAD, vec![outstanding]);
-            ep.send(DISPATCHER, T_ACK, reply);
+            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            send_ack(&ep, &mut plane, reply);
         } else if op == OP_DRAIN {
-            let drained = run_op(&errs, || exec.drain());
+            let drained = run_op(errs, || exec.drain());
             tickets.clear();
             outstanding = 0.0;
-            ep.send(DISPATCHER, T_LOAD, vec![0.0]);
-            // Always run the full collective epilogue, error or not: a
-            // node skipping a collective would deadlock the cluster.
-            let (records, err_flag, jobs, tasks) = match &drained {
-                Ok(stats) => (
-                    wire::encode_jobs(&stats.jobs),
-                    0.0,
-                    stats.jobs.len() as f64,
-                    stats.tasks as f64,
-                ),
-                Err(_) => (Payload::new(), 1.0, 0.0, 0.0),
-            };
+            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            // Extras leave the executor either way (a failed drain
+            // discards them, exactly as the collective design did).
             let extras = exec.take_extras();
-            ep.gather(DISPATCHER, records);
-            ep.gather(DISPATCHER, wire::encode_extras(&extras));
-            ep.reduce(DISPATCHER, ReduceOp::Sum, vec![err_flag, jobs, tasks]);
+            let reply = match drained {
+                Ok(stats) => {
+                    let mut p = Vec::with_capacity(
+                        3 + stats.jobs.len() * wire::JOB_SLOTS + wire::EXTRAS_SLOTS,
+                    );
+                    p.push(ACK_OK);
+                    p.push(stats.jobs.len() as f64);
+                    p.push(stats.tasks as f64);
+                    p.extend(wire::encode_jobs(&stats.jobs));
+                    p.extend(wire::encode_extras(&extras));
+                    p
+                }
+                Err(p) => p,
+            };
+            send_ack(&ep, &mut plane, reply);
         }
     }
 }
@@ -779,7 +1618,7 @@ fn node_agent<E: Executor>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use das_core::{Policy, TaskTypeId};
+    use das_core::{FaultSchedule, Policy, TaskTypeId};
     use das_dag::generators;
     use das_topology::Topology;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -953,8 +1792,10 @@ mod tests {
         // A sim node whose batch trips the event budget: the waited job
         // surfaces `Failed`, its lost siblings disappear (UnknownTicket,
         // like the bare simulator's failed batch), and the next drain —
-        // which must NOT panic over the never-reported route entries —
-        // returns empty and leaves the cluster serving new jobs.
+        // which must NOT invent records for the never-reported route
+        // entries — returns empty and leaves the cluster serving new
+        // jobs. (The recovery ledger is consulted only on node *death*,
+        // never on a failed batch.)
         let mut cluster = ClusterBuilder::new(base_session(9), 1).build_with(|_, session| {
             let mut sim = Simulator::from_session(session);
             sim.max_events = 5; // far below any real batch
@@ -1048,5 +1889,99 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert_eq!(a.iter().sum::<f64>(), 16.0);
+    }
+
+    #[test]
+    fn seeded_kill_requeues_onto_survivors() {
+        // kill(2, 1): node 2 admits one job, then dies at its second
+        // admission. The stranded job requeues, the triggering job
+        // re-places, and the whole stream completes on nodes 0 and 1.
+        let base = base_session(21).fault_schedule(FaultSchedule::new(21).kill(2, 1));
+        let mut cluster = ClusterBuilder::new(base, 3)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim();
+        for j in 0..9 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        assert_eq!(cluster.live_nodes(), 2, "node 2 died mid-stream");
+        let stats = cluster.drain().unwrap();
+        assert_eq!(stats.jobs.len(), 9, "every job completes on survivors");
+        let ids: Vec<u64> = stats.jobs.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>(), "ids stay dense");
+        let extras = cluster.take_extras();
+        assert_eq!(extras.get("node2.failed"), Some(1.0));
+        assert_eq!(extras.get("jobs_requeued"), Some(1.0));
+        assert_eq!(extras.get("jobs_lost"), None);
+        assert_eq!(extras.get("nodes"), Some(2.0), "live count after the kill");
+    }
+
+    #[test]
+    fn membership_churn_between_drains() {
+        let mut cluster = ClusterBuilder::new(base_session(22), 2)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim();
+        for j in 0..4 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        let added = cluster.add_node(&base_session(22));
+        assert_eq!(added, 2);
+        assert_eq!(cluster.live_nodes(), 3);
+        cluster.remove_node(0).unwrap();
+        assert!(!cluster.is_alive(0));
+        for j in 4..8 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        let stats = cluster.drain().unwrap();
+        assert_eq!(stats.jobs.len(), 8, "no job lost across churn");
+        let extras = cluster.take_extras();
+        assert_eq!(extras.get("node0.removed"), Some(1.0));
+        assert_eq!(
+            extras.get("jobs_requeued"),
+            Some(2.0),
+            "node 0's pending queue moved onto peers"
+        );
+        assert_eq!(extras.get("nodes"), Some(2.0));
+        // Removing a dead slot or the whole fleet is rejected.
+        assert!(matches!(
+            cluster.remove_node(0),
+            Err(ExecError::Rejected(_))
+        ));
+        cluster.remove_node(1).unwrap();
+        assert!(matches!(
+            cluster.remove_node(2),
+            Err(ExecError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn dropped_acks_surface_as_typed_timeout() {
+        let base = base_session(23).fault_schedule(FaultSchedule::new(23).drop_acks(0, 1));
+        let mut cluster = ClusterBuilder::new(base, 1)
+            .rpc_deadline(Duration::from_millis(2))
+            .rpc_attempts(2)
+            .build_sim();
+        let err = Executor::submit(&mut cluster, chain_job(0)).unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }), "{err:?}");
+        // The node admitted the job but its ack was withheld: the
+        // record surfaces at drain as an orphan, not a completion.
+        let stats = cluster.drain().unwrap();
+        assert!(stats.jobs.is_empty());
+        let extras = cluster.take_extras();
+        assert_eq!(extras.get("jobs_orphaned"), Some(1.0));
+    }
+
+    #[test]
+    fn drain_deadline_turns_a_silent_node_into_a_typed_error() {
+        // Node 1 swallows its drain ack. The old collective epilogue
+        // would block forever; the bounded RPC surfaces ExecError::Timeout.
+        let base = base_session(24).fault_schedule(FaultSchedule::new(24).drop_acks(1, 1));
+        let mut cluster = ClusterBuilder::new(base, 2)
+            .route(RoutePolicy::RoundRobin)
+            .rpc_deadline(Duration::from_millis(2))
+            .rpc_attempts(2)
+            .build_sim();
+        Executor::submit(&mut cluster, chain_job(0)).unwrap();
+        let err = cluster.drain().unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }), "{err:?}");
     }
 }

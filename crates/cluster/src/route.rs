@@ -63,45 +63,84 @@ impl RoutePolicy {
 }
 
 /// One routing decision, or `None` to shed the job. `loads[i]` is node
-/// `i`'s last reported outstanding-job count and `limits[i]` its
-/// admission bound (`f64::INFINITY` when unbounded); `rr` is the
-/// round-robin cursor (advanced by the caller's borrow).
+/// `i`'s last reported outstanding-job count, `limits[i]` its admission
+/// bound (`f64::INFINITY` when unbounded), and `alive[i]` the
+/// dispatcher's membership view (dead or removed nodes are never
+/// picked); `rr` is the round-robin cursor (advanced by the caller's
+/// borrow).
 ///
 /// Non-shedding policies pick exactly as they always did — limits never
 /// bend the choice, they only turn a full pick into `None` (so the
 /// rejection is attributable to the picked node, and the decision
 /// sequence with and without bounds is identical). `LoadShed` instead
 /// restricts the candidate set to non-full nodes.
+///
+/// With every node alive the decision — including the RNG draw
+/// sequence of [`RoutePolicy::PowerOfTwo`] — is bit-identical to the
+/// pre-membership behaviour; that is what keeps the no-fault
+/// determinism pins green. Dead nodes shrink the candidate set:
+/// round-robin skips them (cursor still advances per attempt),
+/// power-of-two samples over the alive index map, and the argmin
+/// policies filter them out.
 pub(crate) fn pick(
     policy: RoutePolicy,
     loads: &[f64],
     limits: &[f64],
+    alive: &[bool],
     rr: &mut usize,
     rng: &mut SmallRng,
 ) -> Option<usize> {
     let n = loads.len();
-    debug_assert!(n > 0 && limits.len() == n);
+    debug_assert!(n > 0 && limits.len() == n && alive.len() == n);
     let full = |i: usize| loads[i] >= limits[i];
     let node = match policy {
         RoutePolicy::RoundRobin => {
-            let node = *rr % n;
+            let mut node = *rr % n;
             *rr = (*rr + 1) % n;
+            let mut hops = 1;
+            while !alive[node] {
+                if hops == n {
+                    return None; // every node is dead
+                }
+                node = *rr % n;
+                *rr = (*rr + 1) % n;
+                hops += 1;
+            }
             node
         }
-        RoutePolicy::LeastOutstanding => argmin(loads, 0..n)?,
+        RoutePolicy::LeastOutstanding => argmin(loads, (0..n).filter(|&i| alive[i]))?,
         RoutePolicy::PowerOfTwo => {
-            if n == 1 {
-                0
-            } else {
-                let a = rng.gen_range(0..n);
-                let mut b = rng.gen_range(0..n - 1);
-                if b >= a {
-                    b += 1;
+            if alive.iter().all(|&a| a) {
+                // The historical all-alive path, draw for draw.
+                if n == 1 {
+                    0
+                } else {
+                    let a = rng.gen_range(0..n);
+                    let mut b = rng.gen_range(0..n - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    argmin(loads, [a.min(b), a.max(b)])?
                 }
-                argmin(loads, [a.min(b), a.max(b)])?
+            } else {
+                let idx: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+                match idx.len() {
+                    0 => return None,
+                    1 => idx[0],
+                    m => {
+                        let a = rng.gen_range(0..m);
+                        let mut b = rng.gen_range(0..m - 1);
+                        if b >= a {
+                            b += 1;
+                        }
+                        // `idx` ascends, so mapping min/max through it
+                        // preserves the low-id tie rule.
+                        argmin(loads, [idx[a.min(b)], idx[a.max(b)]])?
+                    }
+                }
             }
         }
-        RoutePolicy::LoadShed => return argmin(loads, (0..n).filter(|&i| !full(i))),
+        RoutePolicy::LoadShed => return argmin(loads, (0..n).filter(|&i| alive[i] && !full(i))),
     };
     (!full(node)).then_some(node)
 }
@@ -123,6 +162,7 @@ mod tests {
     use rand::SeedableRng;
 
     const NO_LIMIT: [f64; 8] = [f64::INFINITY; 8];
+    const ALL_ALIVE: [bool; 8] = [true; 8];
 
     #[test]
     fn round_robin_cycles() {
@@ -135,6 +175,7 @@ mod tests {
                     RoutePolicy::RoundRobin,
                     &loads,
                     &NO_LIMIT[..3],
+                    &ALL_ALIVE[..3],
                     &mut rr,
                     &mut rng,
                 )
@@ -152,6 +193,7 @@ mod tests {
             RoutePolicy::LeastOutstanding,
             &[3.0, 1.0, 1.0, 2.0],
             &NO_LIMIT[..4],
+            &ALL_ALIVE[..4],
             &mut rr,
             &mut rng,
         );
@@ -169,6 +211,7 @@ mod tests {
                 RoutePolicy::PowerOfTwo,
                 &[100.0, 0.0],
                 &NO_LIMIT[..2],
+                &ALL_ALIVE[..2],
                 &mut rr,
                 &mut rng,
             );
@@ -180,6 +223,7 @@ mod tests {
                 RoutePolicy::PowerOfTwo,
                 &[9.0],
                 &NO_LIMIT[..1],
+                &ALL_ALIVE[..1],
                 &mut rr,
                 &mut rng
             ),
@@ -198,6 +242,7 @@ mod tests {
                         RoutePolicy::PowerOfTwo,
                         &[0.0; 8],
                         &NO_LIMIT,
+                        &ALL_ALIVE,
                         &mut rr,
                         &mut rng,
                     )
@@ -221,6 +266,7 @@ mod tests {
                 RoutePolicy::LeastOutstanding,
                 &loads,
                 &limits,
+                &ALL_ALIVE[..3],
                 &mut rr,
                 &mut rng
             ),
@@ -230,7 +276,16 @@ mod tests {
         // Round-robin: the cursor advances even across a shed decision.
         let limits = [8.0, 0.0, 8.0];
         let picks: Vec<Option<usize>> = (0..3)
-            .map(|_| pick(RoutePolicy::RoundRobin, &loads, &limits, &mut rr, &mut rng))
+            .map(|_| {
+                pick(
+                    RoutePolicy::RoundRobin,
+                    &loads,
+                    &limits,
+                    &ALL_ALIVE[..3],
+                    &mut rr,
+                    &mut rng,
+                )
+            })
             .collect();
         assert_eq!(picks, vec![Some(0), None, Some(2)]);
     }
@@ -243,7 +298,14 @@ mod tests {
         let loads = [4.0, 0.0, 6.0];
         let limits = [10.0, 0.0, 10.0];
         assert_eq!(
-            pick(RoutePolicy::LoadShed, &loads, &limits, &mut rr, &mut rng),
+            pick(
+                RoutePolicy::LoadShed,
+                &loads,
+                &limits,
+                &ALL_ALIVE[..3],
+                &mut rr,
+                &mut rng
+            ),
             Some(0),
             "least-loaded among non-full nodes"
         );
@@ -253,6 +315,7 @@ mod tests {
                 RoutePolicy::LoadShed,
                 &loads,
                 &[4.0, 0.0, 6.0],
+                &ALL_ALIVE[..3],
                 &mut rr,
                 &mut rng
             ),
@@ -264,11 +327,113 @@ mod tests {
                 RoutePolicy::LoadShed,
                 &loads,
                 &NO_LIMIT[..3],
+                &ALL_ALIVE[..3],
                 &mut rr,
                 &mut rng
             ),
             Some(1)
         );
+    }
+
+    #[test]
+    fn dead_nodes_are_never_picked_by_any_policy() {
+        let loads = [0.0, 0.0, 0.0, 0.0];
+        let alive = [true, false, true, false];
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Round-robin cycles over the survivors only.
+        let mut rr = 0;
+        let picks: Vec<Option<usize>> = (0..4)
+            .map(|_| {
+                pick(
+                    RoutePolicy::RoundRobin,
+                    &loads,
+                    &NO_LIMIT[..4],
+                    &alive,
+                    &mut rr,
+                    &mut rng,
+                )
+            })
+            .collect();
+        assert_eq!(picks, vec![Some(0), Some(2), Some(0), Some(2)]);
+        // The argmin policies filter the dead even when a dead node is
+        // the global minimum.
+        let mut rr = 0;
+        let node = pick(
+            RoutePolicy::LeastOutstanding,
+            &[5.0, 0.0, 7.0, 0.0],
+            &NO_LIMIT[..4],
+            &alive,
+            &mut rr,
+            &mut rng,
+        );
+        assert_eq!(node, Some(0));
+        // Po2 over 64 decisions with a dead minimum: never picks it.
+        for _ in 0..64 {
+            let node = pick(
+                RoutePolicy::PowerOfTwo,
+                &[5.0, 0.0, 7.0, 0.0],
+                &NO_LIMIT[..4],
+                &alive,
+                &mut rr,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(alive[node], "picked dead node {node}");
+        }
+        // LoadShed: alive-and-full plus dead-and-empty means shed.
+        assert_eq!(
+            pick(
+                RoutePolicy::LoadShed,
+                &[1.0, 0.0, 1.0, 0.0],
+                &[1.0, 9.0, 1.0, 9.0],
+                &alive,
+                &mut rr,
+                &mut rng,
+            ),
+            None
+        );
+        // All dead: every policy sheds rather than picking a corpse.
+        let dead = [false; 4];
+        for policy in RoutePolicy::ALL {
+            let mut rr = 0;
+            assert_eq!(
+                pick(policy, &loads, &NO_LIMIT[..4], &dead, &mut rr, &mut rng),
+                None,
+                "{policy:?} picked among the dead"
+            );
+        }
+    }
+
+    #[test]
+    fn po2_all_alive_draws_match_the_historical_sequence() {
+        // The alive-aware pick must consume the RNG identically to the
+        // pre-membership implementation when every node is alive: same
+        // draws, same picks. (This is the no-fault determinism pin at
+        // the unit level.)
+        let historical = |rng: &mut SmallRng, loads: &[f64]| {
+            let n = loads.len();
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            super::argmin(loads, [a.min(b), a.max(b)]).unwrap()
+        };
+        let loads = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        let mut rr = 0;
+        for _ in 0..128 {
+            let picked = pick(
+                RoutePolicy::PowerOfTwo,
+                &loads,
+                &NO_LIMIT[..5],
+                &ALL_ALIVE[..5],
+                &mut rr,
+                &mut rng_a,
+            );
+            assert_eq!(picked, Some(historical(&mut rng_b, &loads)));
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use das_core::exec::{ExecError, ExecExtras};
 use das_core::jobs::{JobClass, JobId, JobStats};
-use das_msg::{Payload, COLLECTIVE_TAG_BASE};
+use das_msg::Payload;
 
 /// Dispatcher → node commands. One command per payload, opcode first.
 pub(crate) const T_CTRL: u32 = 1;
@@ -23,12 +23,13 @@ pub(crate) const T_ACK: u32 = 2;
 /// report with [`das_msg::Endpoint::try_recv_latest`].
 pub(crate) const T_LOAD: u32 = 3;
 
-// Application tags must stay below the reserved collective block (the
-// drain epilogue runs gather/reduce on the same endpoints).
-const _: () = assert!(T_LOAD < COLLECTIVE_TAG_BASE);
-
-/// The dispatcher's rank. Node `i` is rank `i + 1`.
+/// The dispatcher's rank on every per-node link.
 pub(crate) const DISPATCHER: usize = 0;
+/// The node's rank on its own link: each node talks to the dispatcher
+/// over a private 2-rank communicator, so membership churn never
+/// resizes a shared rank space and a dead node can never wedge a
+/// collective.
+pub(crate) const NODE: usize = 1;
 
 pub(crate) const OP_SUBMIT: f64 = 1.0;
 pub(crate) const OP_WAIT: f64 = 2.0;
@@ -51,6 +52,15 @@ pub(crate) const ERR_UNKNOWN_TICKET: f64 = 3.0;
 /// Admission-bound rejection; payload carries `[.., outstanding,
 /// limit]` so the typed error reconstructs exactly.
 pub(crate) const ERR_OVERLOADED: f64 = 4.0;
+/// The node-agent thread died: sent by the agent's panic wrapper as its
+/// last frame, decoded into [`ExecError::NodeFailed`]. Payload carries
+/// `[.., node]` for symmetry, but the dispatcher trusts the link the
+/// frame arrived on over the payload.
+pub(crate) const ERR_NODE_FAILED: f64 = 5.0;
+/// A control RPC deadline expired ([`ExecError::Timeout`]); payload
+/// carries `[.., waited_ms]`. Encoded for wire-format completeness —
+/// in practice the *absence* of a frame produces this error.
+pub(crate) const ERR_TIMEOUT: f64 = 6.0;
 
 /// f64 slots per encoded [`JobStats`] record.
 pub(crate) const JOB_SLOTS: usize = 8;
@@ -144,13 +154,16 @@ pub(crate) fn encode_err(e: &ExecError) -> Payload {
         ExecError::Overloaded { outstanding, limit } => {
             vec![ACK_ERR, ERR_OVERLOADED, *outstanding as f64, *limit as f64]
         }
+        ExecError::NodeFailed { node } => vec![ACK_ERR, ERR_NODE_FAILED, *node as f64],
+        ExecError::Timeout { waited_ms } => vec![ACK_ERR, ERR_TIMEOUT, *waited_ms as f64],
     }
 }
 
-/// Decode an error acknowledgement; `detail` is the node's
-/// side-channel error string (same process, so strings need not cross
-/// the payload format).
-pub(crate) fn decode_err(p: &[f64], detail: String) -> ExecError {
+/// Decode an error acknowledgement. `node` is the link the frame
+/// arrived on (authoritative for [`ExecError::NodeFailed`]); `detail`
+/// is the node's side-channel error string (same process, so strings
+/// need not cross the payload format).
+pub(crate) fn decode_err(p: &[f64], node: usize, detail: String) -> ExecError {
     match p.get(1).copied() {
         Some(c) if c == ERR_REJECTED => ExecError::Rejected(detail),
         Some(c) if c == ERR_UNKNOWN_TICKET => {
@@ -159,6 +172,10 @@ pub(crate) fn decode_err(p: &[f64], detail: String) -> ExecError {
         Some(c) if c == ERR_OVERLOADED => ExecError::Overloaded {
             outstanding: p.get(2).copied().unwrap_or(0.0) as usize,
             limit: p.get(3).copied().unwrap_or(0.0) as usize,
+        },
+        Some(c) if c == ERR_NODE_FAILED => ExecError::NodeFailed { node },
+        Some(c) if c == ERR_TIMEOUT => ExecError::Timeout {
+            waited_ms: p.get(2).copied().unwrap_or(0.0) as u64,
         },
         _ => ExecError::Failed(detail),
     }
@@ -215,15 +232,21 @@ mod tests {
     fn errors_round_trip_with_detail() {
         let e = decode_err(
             &encode_err(&ExecError::Rejected("x".into())),
+            0,
             "empty graph".into(),
         );
         assert_eq!(e, ExecError::Rejected("empty graph".into()));
         let e = decode_err(
             &encode_err(&ExecError::UnknownTicket(JobId(9))),
+            0,
             String::new(),
         );
         assert_eq!(e, ExecError::UnknownTicket(JobId(9)));
-        let e = decode_err(&encode_err(&ExecError::Failed("b".into())), "budget".into());
+        let e = decode_err(
+            &encode_err(&ExecError::Failed("b".into())),
+            0,
+            "budget".into(),
+        );
         assert_eq!(e, ExecError::Failed("budget".into()));
         // The typed overload fields survive the numeric payload.
         let e = decode_err(
@@ -231,6 +254,7 @@ mod tests {
                 outstanding: 64,
                 limit: 64,
             }),
+            0,
             String::new(),
         );
         assert_eq!(
@@ -240,5 +264,25 @@ mod tests {
                 limit: 64
             }
         );
+    }
+
+    #[test]
+    fn failure_errors_round_trip_and_trust_the_link() {
+        // NodeFailed: the decoded node is the *link* the frame arrived
+        // on, not the payload slot (a confused agent cannot frame a
+        // peer).
+        let e = decode_err(
+            &encode_err(&ExecError::NodeFailed { node: 7 }),
+            2,
+            String::new(),
+        );
+        assert_eq!(e, ExecError::NodeFailed { node: 2 });
+        // Timeout carries its waited budget through the payload.
+        let e = decode_err(
+            &encode_err(&ExecError::Timeout { waited_ms: 1500 }),
+            0,
+            String::new(),
+        );
+        assert_eq!(e, ExecError::Timeout { waited_ms: 1500 });
     }
 }

@@ -130,6 +130,23 @@ pub enum ExecError {
         /// The configured bound that was hit.
         limit: usize,
     },
+    /// A cluster node died while holding work: its agent thread
+    /// panicked (or was killed by a scheduled fault) and the dispatcher
+    /// detected it. Surfaced for jobs that could not be recovered onto
+    /// surviving nodes; the cluster itself stays usable.
+    NodeFailed {
+        /// The dead node's index on the cluster tier.
+        node: usize,
+    },
+    /// A control RPC exceeded its deadline: the remote side neither
+    /// acknowledged nor was detected as down within the configured
+    /// retry budget. Transient by construction — the client may retry
+    /// the verb.
+    Timeout {
+        /// Total time waited across all retry attempts, in
+        /// milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -143,6 +160,12 @@ impl fmt::Display for ExecError {
                     f,
                     "overloaded: {outstanding} outstanding jobs (limit {limit})"
                 )
+            }
+            ExecError::NodeFailed { node } => {
+                write!(f, "node {node} failed while holding work")
+            }
+            ExecError::Timeout { waited_ms } => {
+                write!(f, "control rpc timed out after {waited_ms}ms")
             }
         }
     }
@@ -500,6 +523,12 @@ pub struct SessionBuilder {
     /// with [`ExecError::Overloaded`]. `None` (the default) keeps the
     /// historical unbounded behaviour.
     pub max_outstanding: Option<usize>,
+    /// Seeded fault schedule for the cluster tier
+    /// ([`crate::fault::FaultSchedule`]): which nodes die, drop frames
+    /// or run slow, at which logical points. Single-node backends
+    /// ignore it. `None` (the default) injects nothing and keeps every
+    /// execution path bit-identical to a fault-free session.
+    pub fault_schedule: Option<crate::fault::FaultSchedule>,
 }
 
 impl SessionBuilder {
@@ -520,6 +549,7 @@ impl SessionBuilder {
             park_timeout: None,
             ingress_shards: 8,
             max_outstanding: None,
+            fault_schedule: None,
         }
     }
 
@@ -586,6 +616,14 @@ impl SessionBuilder {
     /// [`ExecError::Overloaded`].
     pub fn max_outstanding(mut self, limit: usize) -> Self {
         self.max_outstanding = Some(limit);
+        self
+    }
+
+    /// Attach a seeded fault schedule (see
+    /// [`crate::fault::FaultSchedule`]). Consumed by the cluster tier
+    /// when it spawns node agents; single-node backends ignore it.
+    pub fn fault_schedule(mut self, faults: crate::fault::FaultSchedule) -> Self {
+        self.fault_schedule = Some(faults);
         self
     }
 
@@ -764,6 +802,11 @@ mod tests {
         };
         assert!(e.to_string().contains("64"), "{e}");
         assert!(e.to_string().contains("overloaded"), "{e}");
+        let e = ExecError::NodeFailed { node: 2 };
+        assert!(e.to_string().contains("node 2"), "{e}");
+        let e = ExecError::Timeout { waited_ms: 250 };
+        assert!(e.to_string().contains("250ms"), "{e}");
+        assert!(e.to_string().contains("timed out"), "{e}");
     }
 
     #[test]
@@ -870,7 +913,8 @@ mod tests {
             })
             .park_timeout(Duration::from_millis(1))
             .ingress_shards(4)
-            .max_outstanding(128);
+            .max_outstanding(128)
+            .fault_schedule(crate::fault::FaultSchedule::new(9).kill(1, 50));
         assert_eq!(s.seed, 9);
         assert_eq!(s.ratio, WeightRatio::new(2, 5));
         assert_eq!(s.discipline, QueueDiscipline::PLAIN_LIFO);
@@ -878,6 +922,10 @@ mod tests {
         assert_eq!(s.park_timeout, Some(Duration::from_millis(1)));
         assert_eq!(s.ingress_shards, 4);
         assert_eq!(s.max_outstanding, Some(128));
+        assert_eq!(
+            s.fault_schedule,
+            Some(crate::fault::FaultSchedule::new(9).kill(1, 50))
+        );
         let sched = s.scheduler();
         assert_eq!(sched.policy(), Policy::DamP);
         // The steal ablation is observable through the scheduler.

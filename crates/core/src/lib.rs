@@ -59,6 +59,7 @@
 //! ```
 
 pub mod exec;
+pub mod fault;
 pub mod ingress;
 pub mod jobs;
 mod policy;
@@ -67,6 +68,7 @@ mod queue;
 mod scheduler;
 
 pub use exec::{ExecError, ExecExtras, ExecReport, Executor, SessionBuilder, Ticket};
+pub use fault::{FaultEvent, FaultKind, FaultPlane, FaultSchedule};
 pub use ingress::{CachePadded, Ingress, IngressTicket};
 pub use jobs::{JobClass, JobId, JobSpec, JobStats, StreamStats};
 pub use policy::Policy;

@@ -1,0 +1,28 @@
+//! Fixture: intentional panics with and without `fault-ok:`.
+
+pub fn kill_unjustified(admitted: u64) {
+    panic!("killed after {admitted} jobs");
+}
+
+pub fn kill_justified(admitted: u64) {
+    // fault-ok: the spawn wrapper catches this and reports NodeFailed.
+    panic!("killed after {admitted} jobs");
+}
+
+pub fn rethrow_unjustified(payload: Box<dyn std::any::Any + Send>) {
+    std::panic::panic_any(payload);
+}
+
+pub fn catcher_is_not_a_panic() {
+    // `std::panic::catch_unwind` mentions the `panic` path segment but
+    // invokes no macro — rule 6 must not fire here.
+    let _ = std::panic::catch_unwind(|| ());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_panics_freely() {
+        panic!("assertions may panic without justification");
+    }
+}

@@ -18,7 +18,11 @@
 //! 4. **panic** — no bare `.unwrap()` in non-test library code;
 //! 5. **contract** — every `ExecError` variant maps to a wire error
 //!    code, every `RoutePolicy` variant appears in the differential
-//!    matrix.
+//!    matrix, every `FaultKind` variant is handled by the cluster's
+//!    fault plane;
+//! 6. **fault** — every intentional `panic!`/`panic_any` in
+//!    determinism-critical library code (the fault plane's kill
+//!    mechanism) carries `// fault-ok: <reason>` naming its catcher.
 //!
 //! Run it as `cargo run --release -p das-lint`; it exits non-zero with
 //! `file:line` diagnostics on any unjustified violation. The fixture
@@ -82,6 +86,11 @@ impl Config {
                     enum_name: "RoutePolicy".to_string(),
                     target_file: PathBuf::from("tests/cluster_exec.rs"),
                 },
+                Contract {
+                    enum_file: PathBuf::from("crates/core/src/fault.rs"),
+                    enum_name: "FaultKind".to_string(),
+                    target_file: PathBuf::from("crates/cluster/src/lib.rs"),
+                },
             ],
         }
     }
@@ -130,6 +139,7 @@ pub fn audit_source(rel: &Path, source: &str, kind: FileKind) -> (Vec<Diagnostic
     diags.extend(atomics);
     diags.extend(rules::rule_unsafe(&ctx));
     diags.extend(rules::rule_panic(&ctx));
+    diags.extend(rules::rule_fault(&ctx));
     (diags, counts)
 }
 

@@ -6,7 +6,7 @@
 //! comment view. A justification is `// <tag> <reason>` with a
 //! non-empty reason, on the flagged line or the line directly above it.
 //!
-//! Rules 1–4 are line-local; rule 5 (cross-file contracts) is a
+//! Rules 1–4 and 6 are line-local; rule 5 (cross-file contracts) is a
 //! standalone check over an enum definition and a target file.
 
 use std::collections::BTreeSet;
@@ -43,6 +43,7 @@ pub const RULE_ATOMICS: &str = "atomics";
 pub const RULE_UNSAFE: &str = "unsafe";
 pub const RULE_PANIC: &str = "panic";
 pub const RULE_CONTRACT: &str = "contract";
+pub const RULE_FAULT: &str = "fault";
 
 /// How a file is classified for rule applicability.
 #[derive(Debug, Clone, Copy, Default)]
@@ -600,6 +601,45 @@ pub fn check_contract(
                     target_path.display()
                 ),
             });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: intentional-panic policy (fault plane)
+// ---------------------------------------------------------------------
+
+pub const FAULT_TAG: &str = "fault-ok:";
+
+/// Rule 6: an *intentional* panic — a `panic!` or `panic_any` call in
+/// determinism-critical library code — must justify itself with
+/// `// fault-ok: <reason>`. These panics are the fault plane's kill
+/// mechanism (a node-agent dies by panicking so the spawn wrapper's
+/// failure path is the one and only death path); any such site must
+/// say who catches it and how the failure is surfaced, so a stray
+/// debugging `panic!` cannot masquerade as fault injection. Matched on
+/// the token stream so `std::panic::catch_unwind` (the *catcher*) is
+/// not confused with the macro.
+pub fn rule_fault(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !ctx.kind.det_critical || !ctx.kind.lib_code {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.is_test_line(idx) {
+            continue;
+        }
+        let toks = tokens(&line.code);
+        let intentional = toks.iter().enumerate().any(|(i, t)| {
+            t == "panic_any" || (t == "panic" && toks.get(i + 1).map(String::as_str) == Some("!"))
+        });
+        if intentional && !justified(ctx, idx, FAULT_TAG) {
+            out.push(ctx.diag(
+                idx,
+                RULE_FAULT,
+                "intentional panic in determinism-critical library code; state who catches it with `// fault-ok: <reason>`".to_string(),
+            ));
         }
     }
     out

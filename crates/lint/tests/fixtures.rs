@@ -11,8 +11,8 @@ use std::path::Path;
 
 use das_lint::lexer::mask;
 use das_lint::rules::{
-    check_contract, FileKind, RULE_ATOMICS, RULE_CONTRACT, RULE_DETERMINISM, RULE_PANIC,
-    RULE_UNSAFE,
+    check_contract, FileKind, RULE_ATOMICS, RULE_CONTRACT, RULE_DETERMINISM, RULE_FAULT,
+    RULE_PANIC, RULE_UNSAFE,
 };
 use das_lint::{audit_source, Config};
 
@@ -126,6 +126,31 @@ fn unwrap_exemptions_tests_and_annotations() {
         test_file: true,
     };
     assert_eq!(audit("unwrap_scoped.rs", kind), vec![]);
+}
+
+#[test]
+fn intentional_panics_need_fault_ok_in_det_critical_lib_code() {
+    let got = audit("fault_panic.rs", DET_LIB);
+    // Line 4: bare `panic!`. Line 13: bare `panic_any`. Line 9 is
+    // justified, `catch_unwind` is not a macro call, and the
+    // `#[cfg(test)]` module panics freely.
+    assert_eq!(got, vec![(4, RULE_FAULT), (13, RULE_FAULT)]);
+}
+
+#[test]
+fn fault_rule_is_scoped_to_det_critical_lib_code() {
+    let non_critical = FileKind {
+        det_critical: false,
+        lib_code: true,
+        test_file: false,
+    };
+    assert_eq!(audit("fault_panic.rs", non_critical), vec![]);
+    let test_kind = FileKind {
+        det_critical: true,
+        lib_code: false,
+        test_file: true,
+    };
+    assert_eq!(audit("fault_panic.rs", test_kind), vec![]);
 }
 
 #[test]

@@ -171,6 +171,34 @@ impl Endpoint {
         self.try_recv_for(src, tag, Some(timeout))
     }
 
+    /// Receive with a bounded exponential-backoff deadline: wait `base`
+    /// for the first attempt, doubling per attempt, for at most
+    /// `attempts` attempts. Returns the payload and the attempt index
+    /// it arrived on, or `Err(total_waited)` after the full budget
+    /// expires. This is the control-RPC deadline primitive of the
+    /// cluster tier: a dispatcher talking to a possibly-dead node wants
+    /// "ack, or a typed timeout after a known worst case", never an
+    /// indefinite block. With `base = 100ms, attempts = 4` the worst
+    /// case is 100 + 200 + 400 + 800 = 1.5s.
+    pub fn recv_backoff(
+        &self,
+        src: usize,
+        tag: u32,
+        base: Duration,
+        attempts: u32,
+    ) -> Result<(Payload, u32), Duration> {
+        let mut waited = Duration::ZERO;
+        let mut window = base;
+        for attempt in 0..attempts.max(1) {
+            if let Some(p) = self.try_recv_for(src, tag, Some(window)) {
+                return Ok((p, attempt));
+            }
+            waited += window;
+            window = window.saturating_mul(2);
+        }
+        Err(waited)
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self, src: usize, tag: u32) -> Option<Payload> {
         let mbox = &self.shared.boxes[self.rank];
@@ -565,6 +593,39 @@ mod tests {
         h.join().unwrap();
         // After consumption the mailbox is empty again.
         assert_eq!(a.recv_timeout(1, 0, Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn recv_backoff_bounds_the_total_wait_and_reports_the_attempt() {
+        let comm = Communicator::new(2);
+        let a = comm.endpoint(0);
+        let b = comm.endpoint(1);
+        // Empty mailbox: all attempts expire; the reported total is the
+        // full geometric budget (5 + 10 + 20 = 35ms for 3 attempts).
+        let waited = a
+            .recv_backoff(1, 0, Duration::from_millis(5), 3)
+            .expect_err("nothing was sent");
+        assert_eq!(waited, Duration::from_millis(35));
+        // A message already queued is returned on the first attempt.
+        b.send(0, 0, vec![1.0]);
+        assert_eq!(
+            a.recv_backoff(1, 0, Duration::from_millis(5), 3),
+            Ok((vec![1.0], 0))
+        );
+        // A message landing after the first window is caught by a later
+        // attempt, not dropped.
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(15));
+            b.send(0, 0, vec![2.0]);
+        });
+        let (payload, attempt) = a
+            .recv_backoff(1, 0, Duration::from_millis(2), 10)
+            .expect("late arrival still lands inside the budget");
+        assert_eq!(payload, vec![2.0]);
+        assert!(attempt > 0, "first 2ms window cannot have caught it");
+        h.join().unwrap();
+        // Zero attempts is clamped to one bounded attempt.
+        assert!(a.recv_backoff(1, 0, Duration::from_millis(1), 0).is_err());
     }
 
     #[test]
