@@ -1486,12 +1486,19 @@ fn node_agent<E: Executor>(
     let mut outstanding: f64 = 0.0;
     let mut last_load: f64 = 0.0;
     loop {
+        // block-ok: the agent's idle state is "parked on the control
+        // link"; `Cluster::drop` always sends OP_SHUTDOWN as its last
+        // frame, so this recv is bounded by dispatcher lifetime.
         let cmd = ep.recv(DISPATCHER, T_CTRL);
         let op = cmd.first().copied().unwrap_or(OP_SHUTDOWN);
         if op == OP_SHUTDOWN {
             return;
         } else if op == OP_SUBMIT {
             // The graph arrived on the side channel before the doorbell.
+            // block-ok: the dispatcher queues the spec *before* sending
+            // the OP_SUBMIT doorbell, so this recv can only block until
+            // that already-sent spec lands; a dropped sender returns
+            // Err and the agent exits.
             let Ok(spec) = inbox.recv() else { return };
             if plane.on_admit(1) {
                 // fault-ok: the scheduled Kill fault takes this agent
@@ -1520,6 +1527,8 @@ fn node_agent<E: Executor>(
             let k = cmd.get(1).copied().unwrap_or(0.0) as usize;
             let mut specs = Vec::with_capacity(k);
             for _ in 0..k {
+                // block-ok: all k specs are queued before the one
+                // OP_SUBMIT_MANY doorbell; see the OP_SUBMIT recv.
                 let Ok(spec) = inbox.recv() else { return };
                 specs.push(spec);
             }

@@ -177,6 +177,9 @@ pub(crate) fn decode_err(p: &[f64], node: usize, detail: String) -> ExecError {
         Some(c) if c == ERR_TIMEOUT => ExecError::Timeout {
             waited_ms: p.get(2).copied().unwrap_or(0.0) as u64,
         },
+        Some(c) if c == ERR_FAILED => ExecError::Failed(detail),
+        // An unknown code (a frame from a newer protocol revision)
+        // still degrades to `Failed` rather than panicking mid-stream.
         _ => ExecError::Failed(detail),
     }
 }

@@ -293,6 +293,10 @@ impl<E: Executor> Ingress<E> {
                 ticket.id
             ))
         })?;
+        // lock-ok: backend workers never take the ingress mutex, so no
+        // inversion is possible; serialising claim redeemers behind the
+        // backend lock is the group-commit design (flush + redeem are
+        // one atomic step against concurrent submitters).
         let stats = backend.exec.wait(claim)?;
         self.outstanding.fetch_sub(1, Ordering::AcqRel);
         Ok(stats)

@@ -1,0 +1,13 @@
+//! Fixture: bounded receive variants need no justification — each one
+//! either carries its own deadline or never parks.
+
+pub struct Agent;
+
+impl Agent {
+    fn serve(&self) {
+        let a = self.ctrl.recv_timeout(LIMIT);
+        let b = self.ctrl.recv_backoff(SPIN);
+        let c = self.ctrl.try_recv();
+        self.apply(a, b, c);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a justified control-plane receive — the annotation names
+//! the mechanism that bounds the wait.
+
+pub struct Agent;
+
+impl Agent {
+    fn serve(&self) {
+        loop {
+            // block-ok: Drop always sends SHUTDOWN as its last frame,
+            // so this recv is bounded by dispatcher lifetime.
+            let cmd = self.ctrl.recv();
+            self.apply(cmd);
+        }
+    }
+}

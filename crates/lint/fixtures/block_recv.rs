@@ -1,0 +1,18 @@
+//! Fixture: unbounded receives in control-plane code — a dispatcher
+//! idle loop and a spec pump, neither justified.
+
+pub struct Agent;
+
+impl Agent {
+    fn serve(&self) {
+        loop {
+            let cmd = self.ctrl.recv();
+            self.apply(cmd);
+        }
+    }
+
+    fn pump(&self, inbox: &Receiver<Spec>) {
+        let spec = inbox.recv();
+        self.admit(spec);
+    }
+}

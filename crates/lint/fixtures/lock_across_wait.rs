@@ -1,0 +1,22 @@
+//! Fixture: guards held across blocking calls — a receive under a
+//! stats guard, and a two-guard condvar wait where only the waited
+//! guard is released while parked.
+
+pub struct Plane;
+
+impl Plane {
+    fn wedge_recv(&self) {
+        let stats = self.stats.lock();
+        let frame = self.chan.recv();
+        drop(stats);
+        frame
+    }
+
+    fn wedge_wait(&self) {
+        let mut outer = self.outer.lock();
+        let mut inner = self.inner.lock();
+        self.cv.wait(&mut inner);
+        drop(inner);
+        drop(outer);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: direct lock-order inversion — `forward` takes alpha then
+//! beta, `backward` takes beta then alpha (via a multi-line chain).
+
+pub struct Pair;
+
+impl Pair {
+    fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self
+            .alpha
+            .lock();
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: lock-order inversion visible only through call edges —
+//! each function takes one lock directly and the other through a
+//! helper, so no single function (let alone line) shows both locks.
+
+pub struct Store;
+
+impl Store {
+    fn with_alpha(&self) {
+        let g = self.alpha.lock();
+        self.bump_beta();
+        drop(g);
+    }
+
+    fn bump_beta(&self) {
+        let g = self.beta.lock();
+        drop(g);
+    }
+
+    fn with_beta(&self) {
+        let g = self.beta.lock();
+        self.bump_alpha();
+        drop(g);
+    }
+
+    fn bump_alpha(&self) {
+        let g = self.alpha.lock();
+        drop(g);
+    }
+}

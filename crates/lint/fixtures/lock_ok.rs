@@ -1,0 +1,30 @@
+//! Fixture: justified lock-order sites — the `lock-ok:` tag suppresses
+//! the diagnostics, but every edge stays in the reported graph.
+
+pub struct Pair;
+
+impl Pair {
+    fn forward(&self) {
+        let a = self.alpha.lock();
+        // lock-ok: backward() only ever runs on this same thread.
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock();
+        // lock-ok: see forward() — a single-thread handoff protocol.
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+
+    fn parked(&self) {
+        let stats = self.stats.lock();
+        // lock-ok: the sender never takes stats, so no contender stalls.
+        let frame = self.chan.recv();
+        drop(stats);
+        frame
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: scope- and drop-released guards — no lock is held at the
+//! second acquisition or at the blocking call, so the graph is clean.
+
+pub struct Pair;
+
+impl Pair {
+    fn scoped(&self) {
+        {
+            let a = self.alpha.lock();
+            a.touch();
+        }
+        let b = self.beta.lock();
+        drop(b);
+    }
+
+    fn dropped(&self) {
+        let b = self.beta.lock();
+        drop(b);
+        let a = self.alpha.lock();
+        drop(a);
+    }
+
+    fn temp_then_recv(&self) {
+        self.stats.lock().bump();
+        let frame = self.chan.recv();
+        frame
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: a drifted wire-constant space — a value collision inside
+//! the OP family, an opcode the agent loop forgot, and an error code
+//! swallowed by the decode fallback.
+
+pub const OP_SUBMIT: f64 = 1.0;
+pub const OP_WAIT: f64 = 2.0;
+pub const OP_DRAIN: f64 = 2.0;
+pub const OP_SHUTDOWN: f64 = 4.0;
+
+pub const ERR_REJECTED: f64 = 1.0;
+pub const ERR_FAILED: f64 = 2.0;
+
+pub fn encode_err(e: &Error) -> Vec<f64> {
+    match e {
+        Error::Rejected => vec![ERR_REJECTED],
+        Error::Failed => vec![ERR_FAILED],
+    }
+}
+
+pub fn decode_err(p: &[f64]) -> Error {
+    match p.first() {
+        Some(c) if *c == ERR_REJECTED => Error::Rejected,
+        _ => Error::Failed,
+    }
+}

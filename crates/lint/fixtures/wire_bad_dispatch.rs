@@ -1,0 +1,16 @@
+//! Fixture: an agent loop that dispatches only three of the four
+//! opcodes — OP_SHUTDOWN never appears.
+
+pub fn agent_loop(ep: &Endpoint) {
+    loop {
+        let cmd = ep.recv_backoff(CTRL);
+        let op = cmd[0];
+        if op == OP_SUBMIT {
+            submit(ep);
+        } else if op == OP_WAIT {
+            wait(ep);
+        } else if op == OP_DRAIN {
+            drain(ep);
+        }
+    }
+}

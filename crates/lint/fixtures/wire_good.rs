@@ -1,0 +1,26 @@
+//! Fixture: a coherent wire-constant space — family-unique values
+//! (ERR and OP may reuse numbers across families), every opcode
+//! dispatched, every error code on both wire paths.
+
+pub const OP_SUBMIT: f64 = 1.0;
+pub const OP_WAIT: f64 = 2.0;
+pub const OP_DRAIN: f64 = 3.0;
+pub const OP_SHUTDOWN: f64 = 4.0;
+
+pub const ERR_REJECTED: f64 = 1.0;
+pub const ERR_FAILED: f64 = 2.0;
+
+pub fn encode_err(e: &Error) -> Vec<f64> {
+    match e {
+        Error::Rejected => vec![ERR_REJECTED],
+        Error::Failed => vec![ERR_FAILED],
+    }
+}
+
+pub fn decode_err(p: &[f64]) -> Error {
+    match p.first() {
+        Some(c) if *c == ERR_REJECTED => Error::Rejected,
+        Some(c) if *c == ERR_FAILED => Error::Failed,
+        _ => Error::Failed,
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: an agent loop dispatching every opcode of wire_good.rs.
+
+pub fn agent_loop(ep: &Endpoint) {
+    loop {
+        let cmd = ep.recv_backoff(CTRL);
+        let op = cmd[0];
+        if op == OP_SHUTDOWN {
+            return;
+        } else if op == OP_SUBMIT {
+            submit(ep);
+        } else if op == OP_WAIT {
+            wait(ep);
+        } else if op == OP_DRAIN {
+            drain(ep);
+        }
+    }
+}

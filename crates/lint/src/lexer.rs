@@ -273,6 +273,18 @@ pub fn tokens(code: &str) -> Vec<String> {
     out
 }
 
+/// Flatten the whole file into one token stream, each token tagged
+/// with its 0-based line index. This is the substrate the graph layer
+/// ([`crate::parse`]) works on: item boundaries, call sites and lock
+/// acquisitions all span lines, so per-line matching cannot see them.
+pub fn token_stream(lines: &[LineInfo]) -> Vec<(usize, String)> {
+    lines
+        .iter()
+        .enumerate()
+        .flat_map(|(i, l)| tokens(&l.code).into_iter().map(move |t| (i, t)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

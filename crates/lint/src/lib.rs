@@ -24,12 +24,33 @@
 //!    determinism-critical library code (the fault plane's kill
 //!    mechanism) carries `// fault-ok: <reason>` naming its catcher.
 //!
+//! On top of the line-local rules sits the function-graph layer
+//! ([`parse`]): per-file extraction of function boundaries, call
+//! sites, lock acquisitions and blocking waits/receives, merged into a
+//! workspace view by three more rules:
+//!
+//! 7. **lock-order** — held-lock sets propagate through intra-crate
+//!    call edges into a workspace lock-acquisition graph; acquisition
+//!    cycles (potential deadlock) and locks held across a blocking
+//!    wait/receive are reported unless justified with
+//!    `// lock-ok: <reason>`;
+//! 8. **blocking** — an unbounded `recv()` in control-plane code
+//!    (`das-cluster`, `das-msg`) must become `recv_timeout` /
+//!    `recv_backoff` / `try_recv*` or carry `// block-ok: <reason>`
+//!    naming the bounding mechanism;
+//! 9. **wire-protocol** — the `OP_*`/`ERR_*`/`ACK_*` constants of
+//!    `cluster/src/wire.rs` must have family-unique values, every
+//!    opcode must be dispatched by the agent loop, and every error
+//!    code must be handled on both the encode and decode paths.
+//!
 //! Run it as `cargo run --release -p das-lint`; it exits non-zero with
-//! `file:line` diagnostics on any unjustified violation. The fixture
-//! corpus under `crates/lint/fixtures/` is excluded from the walk (it
-//! exists to *contain* violations for the self-tests).
+//! `file:line` diagnostics on any unjustified violation (`--json` for
+//! the machine-readable report). The fixture corpus under
+//! `crates/lint/fixtures/` is excluded from the walk (it exists to
+//! *contain* violations for the self-tests).
 
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use std::collections::BTreeMap;
@@ -37,7 +58,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use lexer::mask;
-use rules::{check_contract, Diagnostic, FileCtx, FileKind, OrderingCounts};
+use rules::{check_contract, check_wire, Diagnostic, FileCtx, FileKind, LockEdge, OrderingCounts};
 
 /// A cross-file contract: every variant of `enum_name` (defined in
 /// `enum_file`) must be referenced as `Enum::Variant` in `target_file`.
@@ -48,16 +69,29 @@ pub struct Contract {
     pub target_file: PathBuf,
 }
 
+/// The wire-protocol contract (rule 9): the file defining the
+/// `OP_*`/`ERR_*`/`ACK_*` constants and the file whose agent loop must
+/// dispatch every opcode.
+#[derive(Debug, Clone)]
+pub struct WireContract {
+    pub wire_file: PathBuf,
+    pub dispatch_file: PathBuf,
+}
+
 /// What to audit and how to classify it. Paths are relative to `root`.
 #[derive(Debug, Clone)]
 pub struct Config {
     pub root: PathBuf,
     /// Path prefixes whose files are determinism-critical (rule 1).
     pub det_prefixes: Vec<PathBuf>,
+    /// Path prefixes whose files are control-plane code (rule 8).
+    pub blocking_prefixes: Vec<PathBuf>,
     /// Path prefixes never walked (vendored deps, build output, the
     /// violation fixtures).
     pub skip_prefixes: Vec<PathBuf>,
     pub contracts: Vec<Contract>,
+    /// The wire-protocol contract, if the tree has a wire tier.
+    pub wire: Option<WireContract>,
 }
 
 impl Config {
@@ -67,6 +101,10 @@ impl Config {
         Config {
             root,
             det_prefixes: ["core", "sim", "cluster", "msg"]
+                .iter()
+                .map(|c| PathBuf::from(format!("crates/{c}/src")))
+                .collect(),
+            blocking_prefixes: ["cluster", "msg"]
                 .iter()
                 .map(|c| PathBuf::from(format!("crates/{c}/src")))
                 .collect(),
@@ -92,16 +130,21 @@ impl Config {
                     target_file: PathBuf::from("crates/cluster/src/lib.rs"),
                 },
             ],
+            wire: Some(WireContract {
+                wire_file: PathBuf::from("crates/cluster/src/wire.rs"),
+                dispatch_file: PathBuf::from("crates/cluster/src/lib.rs"),
+            }),
         }
     }
 }
 
-/// The audit result: sorted diagnostics plus the orderings inventory
-/// (per relative path).
+/// The audit result: sorted diagnostics, the orderings inventory (per
+/// relative path), and the workspace lock-acquisition graph.
 #[derive(Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub inventory: BTreeMap<PathBuf, OrderingCounts>,
+    pub lock_edges: Vec<LockEdge>,
 }
 
 impl Report {
@@ -114,6 +157,7 @@ impl Report {
 pub fn classify(rel: &Path, cfg: &Config) -> FileKind {
     let p = rel.to_string_lossy().replace('\\', "/");
     let det_critical = cfg.det_prefixes.iter().any(|d| rel.starts_with(d));
+    let control_plane = cfg.blocking_prefixes.iter().any(|d| rel.starts_with(d));
     let test_file = p.starts_with("tests/")
         || p.contains("/tests/")
         || p.starts_with("benches/")
@@ -126,11 +170,15 @@ pub fn classify(rel: &Path, cfg: &Config) -> FileKind {
         det_critical,
         lib_code,
         test_file,
+        control_plane,
     }
 }
 
-/// Audit a single source text under an explicit classification. This
-/// is the entry point the fixture self-tests drive directly.
+/// Audit a single source text under an explicit classification with
+/// the **line-local** rules (1–4, 6) only. This is the entry point the
+/// fixture self-tests drive directly — and the pass the cross-function
+/// fixtures are demonstrably invisible to (see
+/// `graph_inversion_is_invisible_to_line_local_rules`).
 pub fn audit_source(rel: &Path, source: &str, kind: FileKind) -> (Vec<Diagnostic>, OrderingCounts) {
     let lines = mask(source);
     let ctx = FileCtx::new(rel, &lines, kind);
@@ -141,6 +189,14 @@ pub fn audit_source(rel: &Path, source: &str, kind: FileKind) -> (Vec<Diagnostic
     diags.extend(rules::rule_panic(&ctx));
     diags.extend(rules::rule_fault(&ctx));
     (diags, counts)
+}
+
+/// Extract the function graph of a single source text — the substrate
+/// of the cross-function rules (7 and 8).
+pub fn graph_source(rel: &Path, source: &str, kind: FileKind) -> parse::FileGraph {
+    let lines = mask(source);
+    let ctx = FileCtx::new(rel, &lines, kind);
+    parse::file_graph(&ctx)
 }
 
 /// Recursively collect the `.rs` files below `root`, honouring the
@@ -172,18 +228,29 @@ fn rust_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Run the full audit over the configured tree.
+/// Run the full audit over the configured tree: the line-local rules
+/// per file, the graph rules over the merged per-crate function
+/// graphs, and the cross-file contracts.
 pub fn run(cfg: &Config) -> std::io::Result<Report> {
     let mut report = Report::default();
+    let mut graphs: Vec<(PathBuf, parse::FileGraph)> = Vec::new();
     for rel in rust_files(&cfg.root, cfg)? {
         let source = fs::read_to_string(cfg.root.join(&rel))?;
         let kind = classify(&rel, cfg);
         let (diags, counts) = audit_source(&rel, &source, kind);
         report.diagnostics.extend(diags);
         if counts.total() > 0 {
-            report.inventory.insert(rel, counts);
+            report.inventory.insert(rel.clone(), counts);
         }
+        let graph = graph_source(&rel, &source, kind);
+        report
+            .diagnostics
+            .extend(rules::rule_blocking(&rel, &graph, kind));
+        graphs.push((rel, graph));
     }
+    let (lock_diags, lock_edges) = rules::rule_lock_order(&graphs);
+    report.diagnostics.extend(lock_diags);
+    report.lock_edges = lock_edges;
     for c in &cfg.contracts {
         let enum_src = fs::read_to_string(cfg.root.join(&c.enum_file))?;
         let target_src = fs::read_to_string(cfg.root.join(&c.target_file))?;
@@ -193,6 +260,16 @@ pub fn run(cfg: &Config) -> std::io::Result<Report> {
             &c.enum_name,
             &c.target_file,
             &mask(&target_src),
+        ));
+    }
+    if let Some(w) = &cfg.wire {
+        let wire_src = fs::read_to_string(cfg.root.join(&w.wire_file))?;
+        let dispatch_src = fs::read_to_string(cfg.root.join(&w.dispatch_file))?;
+        report.diagnostics.extend(check_wire(
+            &w.wire_file,
+            &mask(&wire_src),
+            &w.dispatch_file,
+            &mask(&dispatch_src),
         ));
     }
     report.diagnostics.sort();

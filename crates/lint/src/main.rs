@@ -1,12 +1,15 @@
-//! CLI wrapper: `cargo run --release -p das-lint [-- --root <dir>]`.
+//! CLI wrapper: `cargo run --release -p das-lint [-- --root <dir>] [--json]`.
 //! Prints the orderings inventory, then any diagnostics; exits 1 if
-//! the tree has unjustified violations.
+//! the tree has unjustified violations. With `--json`, stdout carries
+//! a machine-readable report instead (sorted diagnostics, per-rule
+//! counts, the lock-acquisition graph) — CI uploads it as an artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = das_lint::workspace_root();
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -17,8 +20,9 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
             other => {
-                eprintln!("unknown argument `{other}` (usage: das-lint [--root <dir>])");
+                eprintln!("unknown argument `{other}` (usage: das-lint [--root <dir>] [--json])");
                 return ExitCode::from(2);
             }
         }
@@ -33,18 +37,120 @@ fn main() -> ExitCode {
         }
     };
 
-    print!("{}", das_lint::render_inventory(&report.inventory));
+    if json {
+        println!("{}", render_json(&report));
+        if !report.is_clean() {
+            for d in &report.diagnostics {
+                eprintln!("{d}");
+            }
+        }
+    } else {
+        print!("{}", das_lint::render_inventory(&report.inventory));
+        if report.is_clean() {
+            println!(
+                "das-lint: clean ({} files with atomics, {} lock-graph edges)",
+                report.inventory.len(),
+                report.lock_edges.len()
+            );
+        } else {
+            for d in &report.diagnostics {
+                eprintln!("{d}");
+            }
+            eprintln!("das-lint: {} violation(s)", report.diagnostics.len());
+        }
+    }
     if report.is_clean() {
-        println!(
-            "das-lint: clean ({} files with atomics)",
-            report.inventory.len()
-        );
         ExitCode::SUCCESS
     } else {
-        for d in &report.diagnostics {
-            eprintln!("{d}");
-        }
-        eprintln!("das-lint: {} violation(s)", report.diagnostics.len());
         ExitCode::FAILURE
     }
+}
+
+/// Hand-rolled JSON (the auditor stays dependency-free): diagnostics
+/// sorted by (file, line, rule), per-rule counts zero-filled over the
+/// full rule set, and every lock-acquisition edge with its site.
+fn render_json(report: &das_lint::Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"clean\": {},\n  \"violations\": {},\n",
+        report.is_clean(),
+        report.diagnostics.len()
+    ));
+    out.push_str("  \"counts\": {");
+    for (i, rule) in das_lint::rules::RULES.iter().enumerate() {
+        let n = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == *rule)
+            .count();
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{rule}\": {n}"));
+    }
+    out.push_str("},\n  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}",
+            esc(&d.file.display().to_string()),
+            d.line,
+            d.rule,
+            esc(&d.msg)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"lock_graph\": [");
+    for (i, e) in report.lock_edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"crate\": \"{}\", \"from\": \"{}\", \"to\": \"{}\", \"file\": \"{}\", \"line\": {}, \"justified\": {}}}",
+            esc(&e.krate),
+            esc(&e.from),
+            esc(&e.to),
+            esc(&e.file.display().to_string()),
+            e.line,
+            e.justified
+        ));
+    }
+    if !report.lock_edges.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"atomics\": {");
+    let mut totals = [0usize; 5];
+    for counts in report.inventory.values() {
+        for (i, c) in counts.0.iter().enumerate() {
+            totals[i] += c;
+        }
+    }
+    for (i, name) in das_lint::rules::ORDERINGS.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {}", totals[i]));
+    }
+    out.push_str("}\n}");
+    out
+}
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -7,13 +7,18 @@
 //! non-empty reason, on the flagged line or the line directly above it.
 //!
 //! Rules 1–4 and 6 are line-local; rule 5 (cross-file contracts) is a
-//! standalone check over an enum definition and a target file.
+//! standalone check over an enum definition and a target file. Rules
+//! 7–9 are the graph layer: they consume [`crate::parse`]'s
+//! per-function extraction — rule 7 (lock-order) over the whole
+//! workspace at once, rule 8 (blocking) per control-plane file, rule 9
+//! (wire-protocol) over the wire definition and dispatch files.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{find_token, has_token, tokens, LineInfo};
+use crate::parse::{FileGraph, FnInfo};
 
 /// One `file:line` finding. Ordered by (file, line, rule) for stable
 /// report output.
@@ -44,6 +49,22 @@ pub const RULE_UNSAFE: &str = "unsafe";
 pub const RULE_PANIC: &str = "panic";
 pub const RULE_CONTRACT: &str = "contract";
 pub const RULE_FAULT: &str = "fault";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_BLOCKING: &str = "blocking";
+pub const RULE_WIRE: &str = "wire-protocol";
+
+/// Every rule name, for stable zero-filled per-rule counts in reports.
+pub const RULES: &[&str] = &[
+    RULE_DETERMINISM,
+    RULE_ATOMICS,
+    RULE_UNSAFE,
+    RULE_PANIC,
+    RULE_CONTRACT,
+    RULE_FAULT,
+    RULE_LOCK_ORDER,
+    RULE_BLOCKING,
+    RULE_WIRE,
+];
 
 /// How a file is classified for rule applicability.
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,6 +77,9 @@ pub struct FileKind {
     /// The whole file is test code (`tests/`, `benches/`): rules 1 and
     /// 4 never apply, rules 2 and 3 still do.
     pub test_file: bool,
+    /// Rule 8 applies (dispatcher/cluster control-plane source, where
+    /// an unbounded receive wedges the tier on a lost peer).
+    pub control_plane: bool,
 }
 
 /// Per-file analysis context: masked lines plus the `#[cfg(test)]`
@@ -82,8 +106,17 @@ impl<'a> FileCtx<'a> {
         }
     }
 
-    fn is_test_line(&self, idx: usize) -> bool {
+    /// Is the 0-based line inside a `#[cfg(test)]` region (or is the
+    /// whole file test code)? The graph layer skips such functions.
+    pub fn is_test_line(&self, idx: usize) -> bool {
         self.in_test_region.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Is the 0-based line justified by `tag`? Same lookup the
+    /// line-local rules use; the graph layer resolves justifications
+    /// at extraction time so the cross-file passes stay pure data.
+    pub fn justified_line(&self, idx: usize, tag: &str) -> bool {
+        justified(self, idx, tag)
     }
 
     fn diag(&self, idx: usize, rule: &'static str, msg: String) -> Diagnostic {
@@ -642,5 +675,416 @@ pub fn rule_fault(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
             ));
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: lock-order (the call-graph pass)
+// ---------------------------------------------------------------------
+
+pub const LOCK_TAG: &str = "lock-ok:";
+
+/// One edge of the workspace lock-acquisition graph: `to` was acquired
+/// (directly, or transitively through a call) while `from` was held.
+/// Lock identity is (crate, receiver base name) — see DESIGN.md for
+/// what that approximation can and cannot distinguish.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    pub krate: String,
+    pub from: String,
+    pub to: String,
+    pub file: PathBuf,
+    pub line: usize,
+    /// The site carries a `// lock-ok: <reason>` justification; the
+    /// edge is reported in the graph but excluded from cycle search.
+    pub justified: bool,
+}
+
+/// The crate a workspace-relative path belongs to; fixture files (no
+/// `crates/` prefix) each form their own single-file "crate".
+fn crate_of(rel: &Path) -> String {
+    let comps: Vec<String> = rel
+        .iter()
+        .map(|c| c.to_string_lossy().into_owned())
+        .collect();
+    if comps.len() >= 2 && comps[0] == "crates" {
+        comps[1].clone()
+    } else if comps.len() >= 2 {
+        comps[0].clone()
+    } else {
+        rel.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    }
+}
+
+/// Rule 7: build the workspace lock-acquisition graph and report
+/// (a) acquisition-order cycles — potential deadlock — and (b) locks
+/// held across a blocking wait/receive, either directly or through a
+/// call to a function that transitively blocks unbounded. Held-lock
+/// sets propagate through intra-crate call edges resolved by callee
+/// name; a call sharing the enclosing function's name is skipped as a
+/// delegation wrapper (`Ingress::wait` → `backend.exec.wait(…)`), so
+/// trait-object indirection cannot alias a function onto itself.
+pub fn rule_lock_order(files: &[(PathBuf, FileGraph)]) -> (Vec<Diagnostic>, Vec<LockEdge>) {
+    let mut crates: BTreeMap<String, Vec<(&Path, &FnInfo)>> = BTreeMap::new();
+    for (path, g) in files {
+        let k = crate_of(path);
+        for f in &g.fns {
+            crates.entry(k.clone()).or_default().push((path, f));
+        }
+    }
+    let mut diags: BTreeSet<Diagnostic> = BTreeSet::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (krate, fns) in &crates {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, (_, f)) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+        // Fixpoint: the set of locks each function (transitively)
+        // acquires, and whether it (transitively) blocks unbounded.
+        let mut acq: Vec<BTreeSet<String>> = fns
+            .iter()
+            .map(|(_, f)| f.acquires.iter().map(|a| a.lock.clone()).collect())
+            .collect();
+        let mut blocks: Vec<bool> = fns
+            .iter()
+            .map(|(_, f)| f.blocking.iter().any(|b| !b.bounded))
+            .collect();
+        loop {
+            let mut changed = false;
+            for (i, (_, f)) in fns.iter().enumerate() {
+                for c in &f.calls {
+                    if c.callee == f.name {
+                        continue;
+                    }
+                    let Some(ts) = by_name.get(c.callee.as_str()) else {
+                        continue;
+                    };
+                    for &ti in ts {
+                        if ti == i {
+                            continue;
+                        }
+                        if !blocks[i] && blocks[ti] {
+                            blocks[i] = true;
+                            changed = true;
+                        }
+                        let add: Vec<String> = acq[ti]
+                            .iter()
+                            .filter(|l| !acq[i].contains(*l))
+                            .cloned()
+                            .collect();
+                        if !add.is_empty() {
+                            acq[i].extend(add);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut crate_edges: Vec<LockEdge> = Vec::new();
+        for (path, f) in fns {
+            for a in &f.acquires {
+                for h in &a.held {
+                    crate_edges.push(LockEdge {
+                        krate: krate.clone(),
+                        from: h.clone(),
+                        to: a.lock.clone(),
+                        file: path.to_path_buf(),
+                        line: a.line,
+                        justified: a.lock_ok,
+                    });
+                }
+            }
+            for c in &f.calls {
+                if c.held.is_empty() || c.callee == f.name {
+                    continue;
+                }
+                let Some(ts) = by_name.get(c.callee.as_str()) else {
+                    continue;
+                };
+                let mut reach: BTreeSet<&String> = BTreeSet::new();
+                let mut callee_blocks = false;
+                for &ti in ts {
+                    reach.extend(acq[ti].iter());
+                    callee_blocks |= blocks[ti];
+                }
+                for h in &c.held {
+                    for l in &reach {
+                        crate_edges.push(LockEdge {
+                            krate: krate.clone(),
+                            from: h.clone(),
+                            to: (*l).clone(),
+                            file: path.to_path_buf(),
+                            line: c.line,
+                            justified: c.lock_ok,
+                        });
+                    }
+                }
+                if callee_blocks && !c.lock_ok {
+                    diags.insert(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: c.line,
+                        rule: RULE_LOCK_ORDER,
+                        msg: format!(
+                            "lock(s) `{}` held across call to `{}`, which blocks on an unbounded wait/recv; release before the call or justify with `// lock-ok: <reason>`",
+                            c.held.join("`, `"),
+                            c.callee
+                        ),
+                    });
+                }
+            }
+            for b in &f.blocking {
+                let held: Vec<&String> = b
+                    .held
+                    .iter()
+                    .filter(|l| Some(*l) != b.exempt.as_ref())
+                    .collect();
+                if held.is_empty() || b.lock_ok {
+                    continue;
+                }
+                let names: Vec<&str> = held.iter().map(|s| s.as_str()).collect();
+                diags.insert(Diagnostic {
+                    file: path.to_path_buf(),
+                    line: b.line,
+                    rule: RULE_LOCK_ORDER,
+                    msg: format!(
+                        "lock(s) `{}` held across blocking `{}()`; every contender stalls for the wait — release before blocking or justify with `// lock-ok: <reason>`",
+                        names.join("`, `"),
+                        b.method
+                    ),
+                });
+            }
+        }
+        crate_edges.sort();
+        crate_edges.dedup();
+        // Cycle search over the unjustified edges: edge A→B closes a
+        // cycle iff B reaches A. Reported at every participating site.
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in crate_edges.iter().filter(|e| !e.justified) {
+            adj.entry(e.from.as_str())
+                .or_default()
+                .insert(e.to.as_str());
+        }
+        for e in crate_edges.iter().filter(|e| !e.justified) {
+            if e.from == e.to {
+                diags.insert(Diagnostic {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: RULE_LOCK_ORDER,
+                    msg: format!(
+                        "`{}` acquired while a guard of `{}` is already held (self-deadlock for a non-reentrant mutex); drop the guard first or justify with `// lock-ok: <reason>`",
+                        e.to, e.from
+                    ),
+                });
+            } else if let Some(path) = lock_path(&adj, &e.to, &e.from) {
+                let cycle = std::iter::once(e.from.as_str())
+                    .chain(path.iter().copied())
+                    .chain(std::iter::once(e.from.as_str()))
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                diags.insert(Diagnostic {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: RULE_LOCK_ORDER,
+                    msg: format!(
+                        "acquiring `{}` while holding `{}` completes the lock-order cycle {cycle}; potential deadlock — fix the acquisition order or justify with `// lock-ok: <reason>`",
+                        e.to, e.from
+                    ),
+                });
+            }
+        }
+        edges.extend(crate_edges);
+    }
+    edges.sort();
+    (diags.into_iter().collect(), edges)
+}
+
+/// BFS path `from` → `to` over the acquisition graph (nodes inclusive,
+/// starting at `from`), or `None` when unreachable.
+fn lock_path<'g>(
+    adj: &BTreeMap<&'g str, BTreeSet<&'g str>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<&'g str>> {
+    let (&start, _) = adj.get_key_value(from)?;
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([start]);
+    parent.insert(start, start);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![n];
+            let mut cur = n;
+            while parent[cur] != cur {
+                cur = parent[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in adj.get(n).into_iter().flatten() {
+            if !parent.contains_key(next) {
+                parent.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Rule 8: blocking discipline on the control plane
+// ---------------------------------------------------------------------
+
+pub const BLOCK_TAG: &str = "block-ok:";
+
+/// Rule 8: an unbounded `recv()` in control-plane code wedges its
+/// thread forever when the peer dies — exactly the hang the cluster's
+/// fault plane exists to rule out. Every such site must use a bounded
+/// variant (`recv_timeout`, `recv_backoff`, `try_recv*`) or carry
+/// `// block-ok: <reason>` naming the mechanism that bounds the wait.
+pub fn rule_blocking(path: &Path, graph: &FileGraph, kind: FileKind) -> Vec<Diagnostic> {
+    if !kind.control_plane || kind.test_file {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &graph.fns {
+        for b in &f.blocking {
+            if b.method == "recv" && !b.block_ok {
+                out.push(Diagnostic {
+                    file: path.to_path_buf(),
+                    line: b.line,
+                    rule: RULE_BLOCKING,
+                    msg: format!(
+                        "unbounded `recv()` in control-plane fn `{}`; a lost peer wedges this thread forever — use `recv_timeout`/`recv_backoff`/`try_recv` or justify with `// block-ok: <reason>` naming the bounding mechanism",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 9: wire-protocol coherence
+// ---------------------------------------------------------------------
+
+/// The constant families of the wire protocol, matched by name prefix.
+const WIRE_FAMILIES: &[&str] = &["OP", "ERR", "ACK"];
+
+/// Parse the `OP_*`/`ERR_*`/`ACK_*` constants of the wire file:
+/// (family, name, value text, 1-based line).
+fn wire_consts(lines: &[LineInfo]) -> Vec<(String, String, String, usize)> {
+    let toks = crate::lexer::token_stream(lines);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].1 == "const" {
+            if let Some((line, name)) = toks.get(i + 1).map(|t| (t.0, t.1.clone())) {
+                let family = WIRE_FAMILIES
+                    .iter()
+                    .find(|f| name.starts_with(&format!("{f}_")));
+                if let Some(f) = family {
+                    let mut j = i + 2;
+                    while j < toks.len() && toks[j].1 != "=" && toks[j].1 != ";" {
+                        j += 1;
+                    }
+                    if toks.get(j).map(|t| t.1.as_str()) == Some("=") {
+                        let mut value = String::new();
+                        j += 1;
+                        while j < toks.len() && toks[j].1 != ";" {
+                            value.push_str(&toks[j].1);
+                            j += 1;
+                        }
+                        out.push((f.to_string(), name, value, line + 1));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Rule 9: the wire-protocol constant space must be coherent — values
+/// unique within each family, every opcode dispatched by the agent
+/// loop, every error code handled explicitly on both the encode and
+/// decode paths (a `_ =>` fallback silently swallowing a code is
+/// exactly the drift this rule pins).
+pub fn check_wire(
+    wire_path: &Path,
+    wire_lines: &[LineInfo],
+    dispatch_path: &Path,
+    dispatch_lines: &[LineInfo],
+) -> Vec<Diagnostic> {
+    let consts = wire_consts(wire_lines);
+    let mut out = Vec::new();
+    if consts.is_empty() {
+        out.push(Diagnostic {
+            file: wire_path.to_path_buf(),
+            line: 1,
+            rule: RULE_WIRE,
+            msg: "no OP_*/ERR_*/ACK_* constants found (wire check is stale)".to_string(),
+        });
+        return out;
+    }
+    let mut seen: BTreeMap<(&str, &str), (&str, usize)> = BTreeMap::new();
+    for (family, name, value, line) in &consts {
+        if let Some((first, _)) = seen.get(&(family.as_str(), value.as_str())) {
+            out.push(Diagnostic {
+                file: wire_path.to_path_buf(),
+                line: *line,
+                rule: RULE_WIRE,
+                msg: format!(
+                    "wire value {value} of `{name}` collides with `{first}`; the {family}_* space must be injective"
+                ),
+            });
+        } else {
+            seen.insert((family.as_str(), value.as_str()), (name.as_str(), *line));
+        }
+    }
+    for (_, name, _, line) in consts.iter().filter(|(f, ..)| f == "OP") {
+        if !dispatch_lines.iter().any(|l| has_token(&l.code, name)) {
+            out.push(Diagnostic {
+                file: wire_path.to_path_buf(),
+                line: *line,
+                rule: RULE_WIRE,
+                msg: format!(
+                    "opcode `{name}` is never dispatched in {}; the agent loop must match every opcode",
+                    dispatch_path.display()
+                ),
+            });
+        }
+    }
+    let spans = crate::parse::fn_spans(wire_lines);
+    for path_fn in ["encode_err", "decode_err"] {
+        let Some((_, start, end)) = spans.iter().find(|(n, _, _)| n == path_fn) else {
+            out.push(Diagnostic {
+                file: wire_path.to_path_buf(),
+                line: 1,
+                rule: RULE_WIRE,
+                msg: format!("could not locate fn `{path_fn}` (wire check is stale)"),
+            });
+            continue;
+        };
+        for (_, name, _, line) in consts.iter().filter(|(f, ..)| f == "ERR") {
+            let body = &wire_lines[start - 1..(*end).min(wire_lines.len())];
+            if !body.iter().any(|l| has_token(&l.code, name)) {
+                out.push(Diagnostic {
+                    file: wire_path.to_path_buf(),
+                    line: *line,
+                    rule: RULE_WIRE,
+                    msg: format!(
+                        "error code `{name}` is not referenced in `{path_fn}`; every code must be handled explicitly on both wire paths"
+                    ),
+                });
+            }
+        }
+    }
+    out.sort();
     out
 }

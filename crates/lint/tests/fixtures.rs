@@ -7,19 +7,21 @@
 //! full workspace audit: it is the same gate CI runs, so deleting any
 //! justification comment in the tree turns `cargo test` red too.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use das_lint::lexer::mask;
 use das_lint::rules::{
-    check_contract, FileKind, RULE_ATOMICS, RULE_CONTRACT, RULE_DETERMINISM, RULE_FAULT,
-    RULE_PANIC, RULE_UNSAFE,
+    check_contract, check_wire, rule_blocking, rule_lock_order, FileKind, LockEdge, RULE_ATOMICS,
+    RULE_BLOCKING, RULE_CONTRACT, RULE_DETERMINISM, RULE_FAULT, RULE_LOCK_ORDER, RULE_PANIC,
+    RULE_UNSAFE, RULE_WIRE,
 };
-use das_lint::{audit_source, Config};
+use das_lint::{audit_source, graph_source, Config};
 
 const DET_LIB: FileKind = FileKind {
     det_critical: true,
     lib_code: true,
     test_file: false,
+    control_plane: false,
 };
 
 fn fixture(name: &str) -> String {
@@ -67,6 +69,7 @@ fn det_rules_do_not_fire_outside_critical_crates() {
         det_critical: false,
         lib_code: true,
         test_file: false,
+        control_plane: false,
     };
     assert_eq!(audit("det_clock.rs", kind), vec![]);
     assert_eq!(audit("det_map_iter.rs", kind), vec![]);
@@ -124,6 +127,7 @@ fn unwrap_exemptions_tests_and_annotations() {
         det_critical: false,
         lib_code: false,
         test_file: true,
+        control_plane: false,
     };
     assert_eq!(audit("unwrap_scoped.rs", kind), vec![]);
 }
@@ -143,12 +147,14 @@ fn fault_rule_is_scoped_to_det_critical_lib_code() {
         det_critical: false,
         lib_code: true,
         test_file: false,
+        control_plane: false,
     };
     assert_eq!(audit("fault_panic.rs", non_critical), vec![]);
     let test_kind = FileKind {
         det_critical: true,
         lib_code: false,
         test_file: true,
+        control_plane: false,
     };
     assert_eq!(audit("fault_panic.rs", test_kind), vec![]);
 }
@@ -199,6 +205,177 @@ fn contract_full_coverage_is_clean_and_stale_enum_is_loud() {
 #[test]
 fn clean_fixture_is_clean_under_strictest_classification() {
     assert_eq!(audit("clean.rs", DET_LIB), vec![]);
+}
+
+// ---------------------------------------------------------------------
+// Graph-layer fixtures: rules 7 (lock-order), 8 (blocking), 9 (wire).
+// ---------------------------------------------------------------------
+
+/// Control-plane library code: the classification rule 8 fires on.
+const CONTROL: FileKind = FileKind {
+    det_critical: false,
+    lib_code: true,
+    test_file: false,
+    control_plane: true,
+};
+
+/// Run the lock-order pass over one fixture as its own single-file
+/// crate; returns the sorted `(line, rule)` findings plus the graph.
+fn lock_audit(name: &str) -> (Vec<(usize, &'static str)>, Vec<LockEdge>) {
+    let src = fixture(name);
+    let graph = graph_source(Path::new(name), &src, DET_LIB);
+    let (diags, edges) = rule_lock_order(&[(PathBuf::from(name), graph)]);
+    let mut got: Vec<_> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    got.sort();
+    (got, edges)
+}
+
+/// Run the blocking pass over one fixture under `kind`.
+fn blocking_audit(name: &str, kind: FileKind) -> Vec<(usize, &'static str)> {
+    let src = fixture(name);
+    let graph = graph_source(Path::new(name), &src, kind);
+    let diags = rule_blocking(Path::new(name), &graph, kind);
+    let mut got: Vec<_> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    got.sort();
+    got
+}
+
+#[test]
+fn lock_cycle_reports_both_inversion_sites() {
+    // forward: alpha -> beta at line 9; backward: beta -> alpha via a
+    // multi-line chain whose `lock` token lands on line 18. Each edge
+    // closes the cycle, so both sites are reported.
+    let (got, edges) = lock_audit("lock_cycle.rs");
+    assert_eq!(got, vec![(9, RULE_LOCK_ORDER), (18, RULE_LOCK_ORDER)]);
+    assert_eq!(edges.len(), 2);
+    assert!(edges.iter().all(|e| !e.justified));
+}
+
+#[test]
+fn graph_inversion_is_invisible_to_line_local_rules() {
+    // Each function takes one lock directly and the other through a
+    // helper call: no single line shows two locks, so the line-local
+    // pass (rules 1-4, 6) sees nothing at all…
+    let src = fixture("lock_inversion_xfn.rs");
+    let (line_local, _) = audit_source(Path::new("lock_inversion_xfn.rs"), &src, DET_LIB);
+    assert_eq!(line_local, vec![]);
+    // …while the graph pass propagates held sets through the call
+    // edges and reports the cycle at both call sites.
+    let (got, _) = lock_audit("lock_inversion_xfn.rs");
+    assert_eq!(got, vec![(10, RULE_LOCK_ORDER), (21, RULE_LOCK_ORDER)]);
+}
+
+#[test]
+fn locks_held_across_blocking_calls_are_flagged() {
+    // Line 10: recv under the stats guard. Line 18: condvar wait with
+    // two guards live — the waited guard (`inner`) is exempt, `outer`
+    // is not. The outer->inner acquisition is an edge but no cycle.
+    let (got, edges) = lock_audit("lock_across_wait.rs");
+    assert_eq!(got, vec![(10, RULE_LOCK_ORDER), (18, RULE_LOCK_ORDER)]);
+    assert_eq!(edges.len(), 1);
+    assert_eq!(
+        (edges[0].from.as_str(), edges[0].to.as_str()),
+        ("outer", "inner")
+    );
+}
+
+#[test]
+fn lock_ok_suppresses_diagnostics_but_keeps_edges() {
+    // The same inversion and held-across-recv shapes as the positive
+    // fixtures, each justified: no findings, but the graph still
+    // reports both edges (marked justified) for the JSON artifact.
+    let (got, edges) = lock_audit("lock_ok.rs");
+    assert_eq!(got, vec![]);
+    assert_eq!(edges.len(), 2);
+    assert!(edges.iter().all(|e| e.justified));
+}
+
+#[test]
+fn scoped_and_dropped_guards_produce_no_edges() {
+    // Scope exit, explicit `drop(g)` and within-statement temporaries
+    // all release before the next acquisition or blocking call.
+    let (got, edges) = lock_audit("lock_scoped.rs");
+    assert_eq!(got, vec![]);
+    assert_eq!(edges, vec![]);
+}
+
+#[test]
+fn unbounded_recv_flagged_on_control_plane_only() {
+    // Line 9: the idle-loop recv; line 15: the spec-pump recv.
+    let got = blocking_audit("block_recv.rs", CONTROL);
+    assert_eq!(got, vec![(9, RULE_BLOCKING), (15, RULE_BLOCKING)]);
+    // The same file outside the control plane is out of scope.
+    assert_eq!(blocking_audit("block_recv.rs", DET_LIB), vec![]);
+}
+
+#[test]
+fn justified_and_bounded_receives_are_clean() {
+    assert_eq!(blocking_audit("block_ok.rs", CONTROL), vec![]);
+    assert_eq!(blocking_audit("block_bounded.rs", CONTROL), vec![]);
+}
+
+#[test]
+fn wire_drift_reports_collision_undispatched_and_undecoded() {
+    let w = mask(&fixture("wire_bad.rs"));
+    let d = mask(&fixture("wire_bad_dispatch.rs"));
+    let diags = check_wire(
+        Path::new("wire_bad.rs"),
+        &w,
+        Path::new("wire_bad_dispatch.rs"),
+        &d,
+    );
+    let got: Vec<_> = diags.iter().map(|x| (x.line, x.rule)).collect();
+    // Line 7: OP_DRAIN reuses OP_WAIT's value. Line 8: OP_SHUTDOWN is
+    // never dispatched. Line 11: ERR_FAILED is swallowed by the `_ =>`
+    // fallback in decode_err.
+    assert_eq!(got, vec![(7, RULE_WIRE), (8, RULE_WIRE), (11, RULE_WIRE)]);
+    assert!(diags[0].msg.contains("collides"));
+    assert!(diags[1].msg.contains("never dispatched"));
+    assert!(diags[2].msg.contains("decode_err"));
+}
+
+#[test]
+fn wire_coherent_space_is_clean() {
+    let w = mask(&fixture("wire_good.rs"));
+    let d = mask(&fixture("wire_good_dispatch.rs"));
+    assert_eq!(
+        check_wire(
+            Path::new("wire_good.rs"),
+            &w,
+            Path::new("wire_good_dispatch.rs"),
+            &d,
+        ),
+        vec![]
+    );
+}
+
+#[test]
+fn wire_stale_checks_fail_loudly() {
+    // A wire file with no OP_*/ERR_*/ACK_* constants means the check
+    // no longer points at the real wire definition.
+    let w = mask(&fixture("wire_bad_dispatch.rs"));
+    let d = mask(&fixture("wire_bad.rs"));
+    let diags = check_wire(
+        Path::new("wire_bad_dispatch.rs"),
+        &w,
+        Path::new("wire_bad.rs"),
+        &d,
+    );
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].msg.contains("stale"));
+
+    // Constants without the encode/decode functions: both fn lookups
+    // must fail loudly rather than silently skipping the ERR checks.
+    let w = mask("pub const OP_X: f64 = 1.0;\n");
+    let d = mask("if op == OP_X { go(); }\n");
+    let diags = check_wire(
+        Path::new("inline_wire.rs"),
+        &w,
+        Path::new("inline_dispatch.rs"),
+        &d,
+    );
+    assert_eq!(diags.len(), 2);
+    assert!(diags.iter().all(|x| x.msg.contains("stale")));
 }
 
 /// The real gate: the workspace itself must audit clean. This is what

@@ -64,6 +64,9 @@ impl Endpoint {
             }
             payload
         } else {
+            // block-ok: collective call discipline — the root sends to
+            // every non-root rank unconditionally, so the frame this
+            // recv waits on is guaranteed by the matching broadcast.
             self.recv(root, T_BCAST)
         }
     }
@@ -78,6 +81,9 @@ impl Endpoint {
                 if src == root {
                     out.push(payload.clone());
                 } else {
+                    // block-ok: every non-root rank's matching gather
+                    // call sends unconditionally (non-blocking), so the
+                    // part is in flight by collective discipline.
                     out.push(self.recv(src, T_GATHER));
                 }
             }
@@ -108,6 +114,9 @@ impl Endpoint {
             }
             mine
         } else {
+            // block-ok: the root's matching scatter call sends one part
+            // to every non-root rank before returning — collective
+            // discipline bounds this wait.
             self.recv(root, T_SCATTER)
         }
     }
@@ -121,6 +130,9 @@ impl Endpoint {
                 if src == root {
                     continue;
                 }
+                // block-ok: every non-root rank's matching reduce call
+                // sends its part unconditionally before returning None
+                // — collective discipline bounds this wait.
                 let part = self.recv(src, T_REDUCE);
                 assert_eq!(part.len(), local.len(), "reduce length mismatch");
                 for (a, b) in local.iter_mut().zip(part) {
@@ -156,6 +168,8 @@ impl Endpoint {
             let mut out = Vec::with_capacity(self.size());
             out.push(payload);
             for src in 1..self.size() {
+                // block-ok: every non-root rank sends its part before
+                // waiting on the broadcast leg — collective discipline.
                 out.push(self.recv(src, T_ALLGATHER_G));
             }
             for dst in 1..self.size() {
@@ -167,6 +181,9 @@ impl Endpoint {
         } else {
             self.send(0, T_ALLGATHER_G, payload);
             (0..self.size())
+                // block-ok: rank 0 only starts its broadcast leg after
+                // gathering every part; ours is already sent above, so
+                // rank 0 cannot be stuck waiting on this rank.
                 .map(|_| self.recv(0, T_ALLGATHER_B))
                 .collect()
         }
@@ -193,6 +210,9 @@ impl Endpoint {
                 if src == self.rank() {
                     std::mem::take(&mut mine)
                 } else {
+                    // block-ok: every rank sends all its parts before
+                    // receiving any (sends are non-blocking), so each
+                    // expected frame is in flight when this recv parks.
                     self.recv(src, T_ALLTOALL)
                 }
             })

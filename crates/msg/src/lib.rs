@@ -262,6 +262,8 @@ impl Endpoint {
     /// neighbours `sendrecv`-ing each other never deadlock.
     pub fn sendrecv(&self, peer: usize, tag: u32, payload: Payload) -> Payload {
         self.send(peer, tag, payload);
+        // block-ok: both partners send before either receives, so the
+        // matching frame is already in flight when this recv parks.
         self.recv(peer, tag)
     }
 
@@ -294,6 +296,9 @@ impl Endpoint {
         }
         if self.rank == 0 {
             for src in 1..self.shared.n {
+                // block-ok: every non-root rank sends its GATHER part
+                // unconditionally before waiting on BCAST — collective
+                // call discipline bounds this wait.
                 let part = self.recv(src, GATHER);
                 assert_eq!(part.len(), local.len(), "allreduce length mismatch");
                 for (a, b) in local.iter_mut().zip(part) {
@@ -306,6 +311,9 @@ impl Endpoint {
             local
         } else {
             self.send(0, GATHER, local);
+            // block-ok: rank 0 broadcasts to every rank after reducing;
+            // our GATHER part is already sent (sends are non-blocking),
+            // so rank 0 cannot be stuck waiting on us.
             self.recv(0, BCAST)
         }
     }
