@@ -4,7 +4,7 @@
 //! §5.4 of the paper flags scheduling overhead as the open problem
 //! ("the design … may result in non negligible overheads when scaling
 //! to platforms with large amount of execution places and cores").
-//! This harness measures the eight hot paths that dominate that
+//! This harness measures the nine hot paths that dominate that
 //! overhead, on machines an order of magnitude larger than the TX2:
 //!
 //! * **sim events/sec** — discrete events the engine retires per wall
@@ -35,6 +35,12 @@
 //!   the failure-domain trajectory: the series moves when recovery
 //!   work gets slower, while correctness (every job completes) is
 //!   asserted inline;
+//! * **metrics overhead pct** — the throughput price of the cluster
+//!   observability plane (`T_METRICS` snapshots every 8 admissions vs
+//!   metrics off) on the 4-node cluster stream; structural gates only
+//!   (finite, identical job counts) — the committed floors of the
+//!   other series pin the metrics-off throughput, this series prices
+//!   turning metrics *on*;
 //! * **ptt search ns/op** — one `global_search` decision on 64- and
 //!   256-core tables, for both the O(1) aggregate-cached `estimate`
 //!   fast path and the pre-aggregate per-call cluster rescan; the gate
@@ -59,7 +65,9 @@ use das_bench::{scale_from_args, SEED};
 use das_cluster::{ClusterBuilder, RoutePolicy};
 use das_core::exec::{ExecError, Executor, SessionBuilder};
 use das_core::jobs::{JobStats, StreamStats};
-use das_core::{FaultSchedule, Ingress, Policy, Priority, Ptt, TaskTypeId, WeightRatio};
+use das_core::{
+    FaultSchedule, Ingress, MetricsConfig, Policy, Priority, Ptt, TaskTypeId, WeightRatio,
+};
 use das_dag::{generators, Dag};
 use das_runtime::{JobSpec, Runtime, TaskGraph};
 use das_sim::{cost::UniformCost, SimConfig, Simulator};
@@ -332,6 +340,53 @@ fn failover_recovery(scale: usize) -> (usize, f64, f64, f64, f64) {
     )
 }
 
+/// The cost of the observability plane on the cluster stream: the
+/// workload of [`cluster_jobs_per_sec`] run metrics-off and metrics-on
+/// (snapshot every 8 admissions — a denser cadence than the default,
+/// so the series is a conservative ceiling), reported as a percentage
+/// throughput overhead. Structural gates only (finite value, identical
+/// completed-job counts): the committed floors of the other series
+/// already pin the metrics-off throughput, so this series exists to
+/// make the price of turning metrics *on* a measured trajectory point
+/// rather than a claim.
+fn metrics_overhead(scale: usize) -> (usize, f64, f64, f64) {
+    let run = |metrics: bool| -> (usize, f64) {
+        let mut base =
+            SessionBuilder::new(Arc::new(Topology::grid(1, 8, 8)), Policy::DamC).seed(SEED);
+        if metrics {
+            base = base.metrics(MetricsConfig::default().every(8));
+        }
+        let mut cluster = ClusterBuilder::new(base, 4)
+            .route(RoutePolicy::PowerOfTwo)
+            .build_sim();
+        let jobs = StreamConfig::poisson(SEED, (2_000 / scale).max(32), 200.0)
+            .shape(JobShape::Mixed {
+                parallelism: 4,
+                layers: 6,
+            })
+            .generate();
+        let n = jobs.len();
+        let t0 = Instant::now();
+        for spec in jobs {
+            Executor::submit(&mut cluster, spec).expect("perf-gate job routes");
+        }
+        let st = cluster.drain().expect("perf-gate cluster drains");
+        assert_eq!(st.jobs.len(), n);
+        (n, t0.elapsed().as_secs_f64())
+    };
+    // Two samples per side, best of each: the series is a ratio of two
+    // wall-clock runs, so one noisy neighbour would otherwise swing it
+    // by more than the effect being measured.
+    let (n_off, off_a) = run(false);
+    let (n_on, on_a) = run(true);
+    assert_eq!(n_off, n_on, "metrics must not change the admitted set");
+    let off = off_a.min(run(false).1);
+    let on = on_a.min(run(true).1);
+    let pct = (on / off - 1.0) * 100.0;
+    assert!(pct.is_finite(), "overhead ratio must be finite");
+    (n_on, n_off as f64 / off, n_on as f64 / on, pct)
+}
+
 fn runtime_tasks_per_sec(scale: usize) -> (usize, f64) {
     let topo = Arc::new(Topology::grid(1, 8, 8));
     let rt = Runtime::new(topo, Policy::DamC).seed(SEED);
@@ -451,6 +506,11 @@ fn main() {
         "  failover_recovery_ms   {fo_ms:>14.3}  ({fo_jobs} jobs, 1 of 4 nodes dies at 50%; {fo_clean:.0} -> {fo_fault:.0} jobs/s, dip {fo_dip:.1}%, {fo_requeued} requeued)"
     );
 
+    let (mx_jobs, mx_off, mx_on, mx_pct) = metrics_overhead(scale);
+    println!(
+        "  metrics_overhead_pct   {mx_pct:>14.2}  ({mx_jobs} jobs; {mx_off:.0} jobs/s off -> {mx_on:.0} jobs/s on, snapshots every 8)"
+    );
+
     let iters = (20_000 / scale).max(200);
     let rescan_iters = (2_000 / scale).max(50);
     let ptt64 = representative_ptt(Arc::new(Topology::grid(1, 8, 8)));
@@ -497,6 +557,7 @@ fn main() {
     "ingress_ops_per_sec": {{ "t1": {ing1:.1}, "t8": {ing8:.1}, "t64": {ing64:.1}, "ops": {ing_ops}, "scaling_64_over_1": {ing_scaling:.2} }},
     "overload_sojourn_p99": {{ "value": {p99:.6}, "unit": "sim_s", "offered": {offered}, "completed": {completed}, "shed": {shed}, "arrival_hz": 500.0, "max_outstanding_per_node": 64, "nodes": 4 }},
     "failover_recovery_ms": {{ "value": {fo_ms:.3}, "jobs_per_sec_clean": {fo_clean:.1}, "jobs_per_sec_fault": {fo_fault:.1}, "dip_pct": {fo_dip:.2}, "requeued": {fo_requeued}, "offered": {fo_jobs}, "completed": {fo_jobs}, "nodes": 4 }},
+    "metrics_overhead_pct": {{ "value": {mx_pct:.2}, "jobs": {mx_jobs}, "jobs_per_sec_off": {mx_off:.1}, "jobs_per_sec_on": {mx_on:.1}, "snapshot_every": 8, "nodes": 4 }},
     "ptt_search_ns_per_op": {{ "cores64": {ns64:.1}, "cores256": {ns256:.1}, "cores256_rescan": {ns256_rescan:.1}, "speedup_vs_rescan_256": {speedup:.2} }}
   }}
 }}

@@ -159,17 +159,18 @@ use std::time::Duration;
 use das_core::exec::{session_tag, ExecError, ExecExtras, Executor, SessionBuilder, Ticket};
 use das_core::fault::{FaultKind, FaultPlane};
 use das_core::jobs::{JobId, JobSpec, JobStats, StreamStats};
+use das_core::metrics::{ExecProbe, MetricKind, MetricsConfig, MetricsReport, NodeSnapshot};
 use das_dag::Dag;
 use das_msg::{Communicator, Endpoint, Payload};
 use das_runtime::{Runtime, TaskGraph};
-use das_sim::Simulator;
+use das_sim::{ClusterTrace, Simulator};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use wire::{
-    ACK_OK, DISPATCHER, ERR_UNKNOWN_TICKET, NODE, OP_DRAIN, OP_SHUTDOWN, OP_SUBMIT, OP_SUBMIT_MANY,
-    OP_WAIT, T_ACK, T_CTRL, T_LOAD,
+    ACK_OK, DISPATCHER, ERR_UNKNOWN_TICKET, NODE, OP_DRAIN, OP_DRAIN_SUMMARY, OP_PULL_TRACE,
+    OP_SHUTDOWN, OP_SUBMIT, OP_SUBMIT_MANY, OP_WAIT, T_ACK, T_CTRL, T_LOAD, T_METRICS,
 };
 
 /// Human-readable label of a scheduled fault, used by failover tooling
@@ -331,7 +332,7 @@ impl ClusterBuilder {
         let mut factory = factory;
         let mut spawner: Spawner<E::Graph> = Box::new(move |i, session| {
             let exec = factory(i, session);
-            spawn_node(i, exec, faults.plane_for(i))
+            spawn_node(i, exec, faults.plane_for(i), session.metrics)
         });
         let nodes: Vec<NodeSlot<E::Graph>> = self
             .sessions
@@ -347,6 +348,7 @@ impl ClusterBuilder {
             rng: SmallRng::seed_from_u64(self.route_seed),
             rr: 0,
             loads: vec![0.0; n],
+            node_metrics: vec![None; n],
             limits,
             route: HashMap::new(),
             retained: HashMap::new(),
@@ -422,6 +424,11 @@ pub struct Cluster<G> {
     /// Last load report per node (outstanding jobs), fed exclusively by
     /// `T_LOAD` messages; pinned to 0 for dead nodes.
     loads: Vec<f64>,
+    /// Latest metrics snapshot per node, fed exclusively by `T_METRICS`
+    /// frames (keep-latest, like the loads); cleared for dead nodes.
+    /// All `None` unless the node sessions enabled
+    /// [`SessionBuilder::metrics`].
+    node_metrics: Vec<Option<NodeSnapshot>>,
     /// Per-node admission bound (`f64::INFINITY` when unbounded),
     /// from each node session's `max_outstanding`.
     limits: Vec<f64>,
@@ -515,6 +522,7 @@ impl<G> Cluster<G> {
         self.nodes.push(slot);
         self.alive.push(true);
         self.loads.push(0.0);
+        self.node_metrics.push(None);
         self.limits
             .push(session.max_outstanding.map_or(f64::INFINITY, |l| l as f64));
         idx
@@ -626,6 +634,7 @@ impl<G> Cluster<G> {
             let _ = agent.join();
         }
         self.loads[node] = 0.0;
+        self.node_metrics[node] = None;
         self.exec_extras.set(format!("node{node}.removed"), 1.0);
         Ok(())
     }
@@ -666,6 +675,176 @@ impl<G> Cluster<G> {
                 }
             }
         }
+    }
+
+    /// Fold every pending `T_METRICS` frame into the per-node snapshot
+    /// view (newest frame per node wins, exactly like the loads; a
+    /// misframed frame is skipped and only costs freshness).
+    fn refresh_metrics(&mut self) {
+        for (i, slot) in self.node_metrics.iter_mut().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            if let Some(p) = self.nodes[i].ep.try_recv_latest(NODE, T_METRICS) {
+                if let Some(snap) = wire::decode_snapshot(&p) {
+                    *slot = Some(snap);
+                }
+            }
+        }
+    }
+
+    /// The cluster-wide observability view: the latest metrics snapshot
+    /// of every live node that has pushed one, in node-index order.
+    /// Empty unless the node sessions enabled
+    /// [`SessionBuilder::metrics`]. Non-blocking — this only folds in
+    /// frames already on the links; snapshots arrive on logical
+    /// triggers (every `snapshot_every` admitted jobs, and at every
+    /// drain).
+    pub fn metrics_report(&mut self) -> MetricsReport {
+        self.refresh_metrics();
+        MetricsReport {
+            nodes: self
+                .node_metrics
+                .iter()
+                .flatten()
+                // det-ok: node_metrics is indexed by node, so this
+                // iteration is in stable node order.
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Write the cluster totals of the merged [`MetricsReport`] into
+    /// the extras map, one `metrics.<kind>` value per [`MetricKind`].
+    /// No-op while no node has pushed a snapshot, so the metrics-off
+    /// extras surface is byte-identical to the pre-observability one.
+    fn flatten_metrics(&mut self) {
+        let report = self.metrics_report();
+        if report.nodes.is_empty() {
+            return;
+        }
+        let totals = report.totals();
+        for kind in MetricKind::ALL {
+            self.exec_extras.set(
+                format!("metrics.{}", kind.name()),
+                metric_scalar(kind, &totals),
+            );
+        }
+    }
+
+    /// Drain every live node for a *summary* — counts, span, extras and
+    /// the node's post-drain snapshot — without shipping one wire slot
+    /// per completed job. The cluster-wide percentiles come from the
+    /// merged sketches instead of per-job records, so the reply size is
+    /// independent of how many jobs completed. The stream's tickets are
+    /// retired exactly as by [`Executor::drain`] (outstanding routes
+    /// clear; un-waited tickets redeem as `UnknownTicket` afterwards).
+    ///
+    /// Requires metrics-enabled node sessions; a node that never
+    /// enabled metrics answers with an all-zero sketch snapshot, which
+    /// merges harmlessly. On a node death or error the summary fails
+    /// with the typed error after the failure plane repairs the cluster
+    /// — use [`Executor::drain`] when per-job records (or mid-drain
+    /// recovery) are required.
+    pub fn drain_summary(&mut self) -> Result<DrainSummary, ExecError> {
+        let mut jobs = 0u64;
+        let mut tasks = 0u64;
+        // Global stream endpoints, folded across banked records and
+        // every node reply: span = last completion − first arrival,
+        // exactly what `StreamStats::from_jobs` reports over the
+        // merged records of a full drain.
+        let mut t0 = f64::INFINITY;
+        let mut t1 = 0.0f64;
+        let mut nodes = Vec::new();
+        let mut merged = std::mem::take(&mut self.banked_extras);
+        for rec in std::mem::take(&mut self.banked_jobs) {
+            jobs += 1;
+            tasks += rec.tasks as u64;
+            t0 = t0.min(rec.arrival);
+            t1 = t1.max(rec.completed);
+        }
+        let targets: Vec<usize> = (0..self.nodes.len()).filter(|&i| self.alive[i]).collect();
+        for &node in &targets {
+            self.mark_started(node);
+            self.nodes[node]
+                .ep
+                .send(NODE, T_CTRL, vec![OP_DRAIN_SUMMARY]);
+        }
+        let mut first_err: Option<ExecError> = None;
+        for &node in &targets {
+            match self.rpc_recv(node) {
+                Ok(p) if p.first() == Some(&ACK_OK) => {
+                    let (j, t, n0, n1, extras, snap) = wire::decode_summary_ok(&p);
+                    jobs += j;
+                    tasks += t;
+                    t0 = t0.min(n0);
+                    t1 = t1.max(n1);
+                    merged.bump(&format!("node{node}.jobs"), j as f64);
+                    attribute_extras(node, &extras, &mut merged);
+                    merged.absorb(extras);
+                    self.node_metrics[node] = Some(snap.clone());
+                    nodes.push(snap);
+                }
+                Ok(p) => {
+                    let err = wire::decode_err(&p, node, self.node_error(node));
+                    if matches!(err, ExecError::NodeFailed { .. }) {
+                        self.handle_node_down(node);
+                    }
+                    first_err.get_or_insert(err);
+                }
+                Err(ExecError::NodeFailed { .. }) => {
+                    self.handle_node_down(node);
+                    first_err.get_or_insert(ExecError::NodeFailed { node });
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        self.refresh_loads();
+        self.route.clear();
+        self.retained.clear();
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.exec_extras.absorb(merged);
+        self.exec_extras.set("nodes", self.live_nodes() as f64);
+        self.flatten_metrics();
+        Ok(DrainSummary {
+            jobs,
+            tasks,
+            span: if jobs == 0 { 0.0 } else { t1 - t0 },
+            report: MetricsReport { nodes },
+        })
+    }
+
+    /// Pull every live node's accumulated execution trace spans and
+    /// assemble the unified multi-node chrome trace (**pid = node,
+    /// tid = core**). Draining: each node's span buffer empties. Spans
+    /// only accumulate when the node sessions enabled
+    /// [`das_core::MetricsConfig::with_trace`]; nodes without spans
+    /// contribute empty process groups.
+    pub fn collect_trace(&mut self) -> Result<ClusterTrace, ExecError> {
+        let targets: Vec<usize> = (0..self.nodes.len()).filter(|&i| self.alive[i]).collect();
+        let mut per_node = Vec::with_capacity(targets.len());
+        for &node in &targets {
+            self.nodes[node].ep.send(NODE, T_CTRL, vec![OP_PULL_TRACE]);
+            let p = self.rpc_recv(node)?;
+            if p.first() != Some(&ACK_OK) {
+                return Err(wire::decode_err(&p, node, self.node_error(node)));
+            }
+            let spans = wire::decode_trace_ok(&p[1..]);
+            // The node's core count is not on the wire; the span
+            // extent (executing cores and assembly widths) bounds the
+            // rows any renderer needs.
+            let cores = spans
+                .iter()
+                .map(|s| s.core.max(s.leader + s.width.saturating_sub(1)) + 1)
+                .max()
+                .unwrap_or(0);
+            per_node.push((node, cores, spans));
+        }
+        Ok(ClusterTrace::from_node_spans(&per_node))
     }
 
     /// Wire messages this dispatcher has sent, ever (summed over the
@@ -764,6 +943,7 @@ impl<G> Cluster<G> {
         }
         self.alive[node] = false;
         self.loads[node] = 0.0;
+        self.node_metrics[node] = None;
         if let Some(agent) = self.nodes[node].agent.take() {
             let _ = agent.join();
         }
@@ -918,7 +1098,62 @@ impl<G> Cluster<G> {
         if let Some(ev) = extras.events {
             merged.bump(&format!("node{node}.events"), ev as f64);
         }
+        attribute_extras(node, &extras, merged);
         merged.absorb(extras);
+    }
+}
+
+/// What [`Cluster::drain_summary`] returns: stream-level counts plus
+/// the per-node post-drain snapshots, whose merged sketches carry the
+/// cluster-wide percentiles ([`MetricsReport::totals`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DrainSummary {
+    /// Completed jobs across the cluster (including records banked by
+    /// graceful node removals since the last drain).
+    pub jobs: u64,
+    /// Tasks those jobs committed.
+    pub tasks: u64,
+    /// Global stream span: last completion − first arrival across
+    /// every node (and banked record), the same quantity
+    /// [`das_core::jobs::StreamStats::from_jobs`] reports over the
+    /// merged records of a full [`Executor::drain`].
+    pub span: f64,
+    /// The per-node post-drain snapshots, in reply order (node-index
+    /// ascending over the live nodes).
+    pub report: MetricsReport,
+}
+
+/// Render one [`MetricKind`] of a merged cluster probe as the scalar
+/// that lands in the `metrics.<kind>` extras value. This match is the
+/// das-lint cross-file contract target for `MetricKind`: adding a
+/// metric kind without deciding its cluster merge fails the lint, not
+/// a reader of half-populated extras.
+pub fn metric_scalar(kind: MetricKind, t: &ExecProbe) -> f64 {
+    match kind {
+        MetricKind::QueueDepth => t.queue_depth as f64,
+        MetricKind::JobsAdmitted => t.jobs_admitted as f64,
+        MetricKind::JobsCompleted => t.jobs_completed as f64,
+        MetricKind::TasksCompleted => t.tasks_completed as f64,
+        MetricKind::Steals => t.steals as f64,
+        MetricKind::FailedSteals => t.failed_steals as f64,
+        MetricKind::Events => t.events as f64,
+        MetricKind::Utilization => t.utilization(),
+        MetricKind::PttResidual => t.ptt_residual,
+        MetricKind::SojournP50 => t.sojourn.quantile(0.5).unwrap_or(0.0),
+        MetricKind::SojournP99 => t.sojourn.quantile(0.99).unwrap_or(0.0),
+        MetricKind::QueueingP99 => t.queueing.quantile(0.99).unwrap_or(0.0),
+    }
+}
+
+/// Attribute a node's snapshot-fault counters (`snapshots_sent` /
+/// `snapshots_dropped` / `snapshots_delayed`) under its `node{i}.`
+/// prefix in the merged extras, so a fault-gated metrics stream is
+/// diagnosable per node, not just in aggregate.
+fn attribute_extras(node: usize, extras: &ExecExtras, merged: &mut ExecExtras) {
+    for key in ["snapshots_sent", "snapshots_dropped", "snapshots_delayed"] {
+        if let Some(v) = extras.get(key) {
+            merged.bump(&format!("node{node}.{key}"), v);
+        }
     }
 }
 
@@ -1339,11 +1574,22 @@ impl<G> Executor for Cluster<G> {
         // semantics *after* the absorb so repeated drains between two
         // `take_extras` calls do not sum it into nonsense.
         self.exec_extras.set("nodes", self.live_nodes() as f64);
+        self.flatten_metrics();
         Ok(StreamStats::from_jobs(jobs))
     }
 
     fn take_extras(&mut self) -> ExecExtras {
         std::mem::take(&mut self.exec_extras)
+    }
+
+    /// The merged cluster probe: the bin-wise sum of every node's
+    /// latest snapshot (order-insensitive and exact — the sketches are
+    /// integer counts). `None` until any node has pushed a snapshot,
+    /// so a metrics-off cluster reports exactly like a metrics-off
+    /// backend.
+    fn metrics_probe(&mut self) -> Option<ExecProbe> {
+        let report = self.metrics_report();
+        (!report.nodes.is_empty()).then(|| report.totals())
     }
 }
 
@@ -1369,7 +1615,12 @@ impl<G> Drop for Cluster<G> {
 /// dispatcher's `Acquire` in `rpc_recv` — and sends `ERR_NODE_FAILED`
 /// as its last frame, so a dispatcher blocked on this command's ack
 /// observes the death deterministically instead of timing out.
-fn spawn_node<E>(i: usize, exec: E, plane: FaultPlane) -> NodeSlot<E::Graph>
+fn spawn_node<E>(
+    i: usize,
+    exec: E,
+    plane: FaultPlane,
+    metrics: Option<MetricsConfig>,
+) -> NodeSlot<E::Graph>
 where
     E: Executor + Send + 'static,
     E::Graph: Send + 'static,
@@ -1386,7 +1637,7 @@ where
         .name(format!("das-cluster-node-{i}"))
         .spawn(move || {
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                node_agent(exec, agent_ep, rx, &errs_agent, plane);
+                node_agent(i, exec, agent_ep, rx, &errs_agent, plane, metrics);
             }));
             if let Err(payload) = run {
                 *errs_agent.lock() = panic_text(payload.as_ref());
@@ -1442,16 +1693,96 @@ fn run_op<T>(errs: &Mutex<String>, f: impl FnOnce() -> Result<T, ExecError>) -> 
     }
 }
 
-/// Push this node's load report, as the fault plane allows: a `Slow`
-/// fault inflates the reported value (steering the policies away, the
-/// deterministic stand-in for a degraded node), `DropLoadReports`
-/// withholds it, `DelayLoadReports` sends the previous (stale) value.
-fn report_load(ep: &Endpoint, plane: &mut FaultPlane, last: &mut f64, outstanding: f64) {
+/// The agent's snapshot-cadence state while its session has metrics
+/// enabled: the sequence counter, admissions since the last snapshot,
+/// the last frame actually sent (what a `DelayLoadReports` fault
+/// re-sends), and the fault-attribution counters since the last drain.
+struct SnapState {
+    cfg: MetricsConfig,
+    seq: u64,
+    since: u64,
+    last_frame: Payload,
+    sent: f64,
+    dropped: f64,
+    delayed: f64,
+}
+
+impl SnapState {
+    fn new(cfg: MetricsConfig) -> Self {
+        SnapState {
+            cfg,
+            seq: 0,
+            since: 0,
+            last_frame: Payload::new(),
+            sent: 0.0,
+            dropped: 0.0,
+            delayed: 0.0,
+        }
+    }
+
+    /// Count `admitted` jobs toward the cadence; `true` when a
+    /// snapshot is due.
+    fn admitted(&mut self, admitted: u64) -> bool {
+        self.since += admitted;
+        self.since >= self.cfg.snapshot_every
+    }
+
+    /// Stamp the attribution counters onto the drain-bound extras and
+    /// reset them — each drain reports the delta since the previous
+    /// one, so the dispatcher's per-node bumps never double-count.
+    fn stamp_attribution(&mut self, extras: &mut ExecExtras) {
+        for (key, v) in [
+            ("snapshots_sent", &mut self.sent),
+            ("snapshots_dropped", &mut self.dropped),
+            ("snapshots_delayed", &mut self.delayed),
+        ] {
+            if *v != 0.0 {
+                extras.bump(key, *v);
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Push this node's state — an optional metrics snapshot, then the
+/// load report — as the fault plane allows: a `Slow` fault inflates
+/// the reported load (steering the policies away, the deterministic
+/// stand-in for a degraded node), `DropLoadReports` withholds the
+/// pair, `DelayLoadReports` re-sends the previous (stale) pair. The
+/// snapshot and the load report share **one** drop/delay decision
+/// (the same tokens are consumed whether or not metrics are on, so
+/// fault schedules reproduce identically either way), and the
+/// snapshot goes first — the dispatcher's keep-latest reads then
+/// never see a load value fresher than the snapshot beside it.
+fn report_state(
+    ep: &Endpoint,
+    plane: &mut FaultPlane,
+    last: &mut f64,
+    outstanding: f64,
+    snapshot: Option<(&mut SnapState, NodeSnapshot)>,
+) {
     let value = outstanding * plane.slow_factor();
-    if plane.drop_load_report() {
+    let dropped = plane.drop_load_report();
+    let delayed = !dropped && plane.delay_load_report();
+    if let Some((state, snap)) = snapshot {
+        if dropped {
+            state.dropped += 1.0;
+        } else if delayed {
+            state.delayed += 1.0;
+            if !state.last_frame.is_empty() {
+                ep.send(DISPATCHER, T_METRICS, state.last_frame.clone());
+            }
+        } else {
+            let frame = wire::encode_snapshot(&snap);
+            state.sent += 1.0;
+            state.last_frame = frame.clone();
+            ep.send(DISPATCHER, T_METRICS, frame);
+        }
+    }
+    if dropped {
         return;
     }
-    if plane.delay_load_report() {
+    if delayed {
         ep.send(DISPATCHER, T_LOAD, vec![*last]);
         return;
     }
@@ -1468,23 +1799,56 @@ fn send_ack(ep: &Endpoint, plane: &mut FaultPlane, reply: Payload) {
     ep.send(DISPATCHER, T_ACK, reply);
 }
 
+/// Build the node's metrics snapshot when one is due: `force` (drain
+/// epochs) or the cadence reaching `cfg.snapshot_every` admitted jobs
+/// — both logical triggers, never wall-clock. Returns the pair
+/// [`report_state`] consumes; `None` while metrics are off or the
+/// cadence has not elapsed. The executor's probe is cumulative, so a
+/// snapshot is a read, not a drain; a backend without metrics state
+/// contributes the all-zero probe.
+fn snapshot_if_due<'a, E: Executor>(
+    node: usize,
+    exec: &mut E,
+    state: &'a mut Option<SnapState>,
+    admitted: u64,
+    force: bool,
+) -> Option<(&'a mut SnapState, NodeSnapshot)> {
+    let s = state.as_mut()?;
+    let due = s.admitted(admitted);
+    if !(due || force) {
+        return None;
+    }
+    let snap = NodeSnapshot {
+        node: node as u64,
+        seq: s.seq,
+        probe: exec.metrics_probe().unwrap_or_default(),
+    };
+    s.seq += 1;
+    s.since = 0;
+    Some((s, snap))
+}
+
 /// The node agent loop: owns this node's executor, serves dispatcher
-/// commands, pushes a load report before every acknowledgement, and
+/// commands, pushes a load report (and, when the session enabled
+/// metrics, a cadence-due snapshot) before every acknowledgement, and
 /// answers `drain` with one combined records+extras reply. Node-local
 /// tickets live (and die) here. The agent consults its [`FaultPlane`]
 /// at every admission and every outgoing frame — all triggers are
 /// logical (counts, not clocks), so injected faults reproduce
 /// bit-exactly.
 fn node_agent<E: Executor>(
+    node: usize,
     mut exec: E,
     ep: Endpoint,
     inbox: Receiver<JobSpec<E::Graph>>,
     errs: &Mutex<String>,
     mut plane: FaultPlane,
+    metrics: Option<MetricsConfig>,
 ) {
     let mut tickets: HashMap<u64, Ticket> = HashMap::new();
     let mut outstanding: f64 = 0.0;
     let mut last_load: f64 = 0.0;
+    let mut snap_state: Option<SnapState> = metrics.map(SnapState::new);
     loop {
         // block-ok: the agent's idle state is "parked on the control
         // link"; `Cluster::drop` always sends OP_SHUTDOWN as its last
@@ -1510,16 +1874,19 @@ fn node_agent<E: Executor>(
                     plane.admitted()
                 );
             }
+            let mut admitted_now = 0u64;
             let reply = match run_op(errs, || exec.submit(spec)) {
                 Ok(ticket) => {
                     let local = ticket.job().0;
                     tickets.insert(local, ticket);
                     outstanding += 1.0;
+                    admitted_now = 1;
                     vec![ACK_OK, local as f64]
                 }
                 Err(p) => p,
             };
-            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            let snap = snapshot_if_due(node, &mut exec, &mut snap_state, admitted_now, false);
+            report_state(&ep, &mut plane, &mut last_load, outstanding, snap);
             send_ack(&ep, &mut plane, reply);
         } else if op == OP_SUBMIT_MANY {
             // One doorbell for a k-job sub-batch; the specs arrived on
@@ -1542,11 +1909,13 @@ fn node_agent<E: Executor>(
             }
             // The backend batch is atomic on validation: on error the
             // node admits nothing and the count is untouched.
+            let mut admitted_now = 0u64;
             let reply = match run_op(errs, || exec.submit_many(specs)) {
                 Ok(batch) => {
                     let mut p = Vec::with_capacity(2 + batch.len());
                     p.push(ACK_OK);
                     p.push(batch.len() as f64);
+                    admitted_now = batch.len() as u64;
                     for ticket in batch {
                         let local = ticket.job().0;
                         p.push(local as f64);
@@ -1557,7 +1926,8 @@ fn node_agent<E: Executor>(
                 }
                 Err(p) => p,
             };
-            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            let snap = snapshot_if_due(node, &mut exec, &mut snap_state, admitted_now, false);
+            report_state(&ep, &mut plane, &mut last_load, outstanding, snap);
             send_ack(&ep, &mut plane, reply);
         } else if op == OP_WAIT {
             // A missing id slot must take the error path, never alias a
@@ -1595,16 +1965,22 @@ fn node_agent<E: Executor>(
                     }
                 }
             };
-            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            report_state(&ep, &mut plane, &mut last_load, outstanding, None);
             send_ack(&ep, &mut plane, reply);
         } else if op == OP_DRAIN {
             let drained = run_op(errs, || exec.drain());
             tickets.clear();
             outstanding = 0.0;
-            report_load(&ep, &mut plane, &mut last_load, outstanding);
+            // A drain epoch always snapshots (post-drain, so the probe
+            // includes everything the drain completed).
+            let snap = snapshot_if_due(node, &mut exec, &mut snap_state, 0, true);
+            report_state(&ep, &mut plane, &mut last_load, outstanding, snap);
             // Extras leave the executor either way (a failed drain
             // discards them, exactly as the collective design did).
-            let extras = exec.take_extras();
+            let mut extras = exec.take_extras();
+            if let Some(s) = &mut snap_state {
+                s.stamp_attribution(&mut extras);
+            }
             let reply = match drained {
                 Ok(stats) => {
                     let mut p = Vec::with_capacity(
@@ -1620,6 +1996,55 @@ fn node_agent<E: Executor>(
                 Err(p) => p,
             };
             send_ack(&ep, &mut plane, reply);
+        } else if op == OP_DRAIN_SUMMARY {
+            let drained = run_op(errs, || exec.drain());
+            tickets.clear();
+            outstanding = 0.0;
+            let snap = snapshot_if_due(node, &mut exec, &mut snap_state, 0, true);
+            // The reply carries the post-drain snapshot outright (on
+            // the ack channel, so only `DropAcks` gates it); the
+            // fault-gated T_METRICS copy below shares it.
+            let reply_snap =
+                snap.as_ref()
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_else(|| NodeSnapshot {
+                        node: node as u64,
+                        seq: 0,
+                        probe: exec.metrics_probe().unwrap_or_default(),
+                    });
+            report_state(&ep, &mut plane, &mut last_load, outstanding, snap);
+            let mut extras = exec.take_extras();
+            if let Some(s) = &mut snap_state {
+                s.stamp_attribution(&mut extras);
+            }
+            let reply = match drained {
+                Ok(stats) => {
+                    // Ship the stream endpoints, not a pre-folded span:
+                    // the dispatcher computes the global span across
+                    // nodes exactly as a merged-record drain would.
+                    let t0 = stats
+                        .jobs
+                        .iter()
+                        .map(|j| j.arrival)
+                        .fold(f64::INFINITY, f64::min);
+                    let t1 = stats.jobs.iter().map(|j| j.completed).fold(0.0, f64::max);
+                    wire::encode_summary_ok(
+                        stats.jobs.len() as u64,
+                        stats.tasks as u64,
+                        t0,
+                        t1,
+                        &extras,
+                        &reply_snap,
+                    )
+                }
+                Err(p) => p,
+            };
+            send_ack(&ep, &mut plane, reply);
+        } else if op == OP_PULL_TRACE {
+            // A pull is not an admission edge and changes no
+            // outstanding count: no load report rides with it.
+            let spans = exec.take_trace_spans();
+            send_ack(&ep, &mut plane, wire::encode_trace_ok(&spans));
         }
     }
 }
@@ -1992,5 +2417,132 @@ mod tests {
         Executor::submit(&mut cluster, chain_job(0)).unwrap();
         let err = cluster.drain().unwrap_err();
         assert!(matches!(err, ExecError::Timeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn metrics_snapshots_stream_to_the_dispatcher_and_merge() {
+        let base = base_session(31).metrics(MetricsConfig::default().every(2));
+        let mut cluster = ClusterBuilder::new(base, 2)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim();
+        for j in 0..6 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        // Cadence (every 2 admissions) has pushed snapshots already,
+        // before any drain.
+        let report = cluster.metrics_report();
+        assert_eq!(report.nodes.len(), 2, "both nodes snapshot by cadence");
+        // Each node snapshotted at its 2nd admission (3 jobs each under
+        // round-robin), so the freshest pre-drain view totals 4.
+        assert_eq!(report.totals().jobs_admitted, 4);
+        let stats = cluster.drain().unwrap();
+        assert_eq!(stats.jobs.len(), 6);
+        // The drain-epoch snapshots carry completions and sketches.
+        let totals = cluster.metrics_probe().expect("metrics on");
+        assert_eq!(totals.jobs_completed, 6);
+        assert_eq!(totals.sojourn.count(), 6);
+        // The merged report is flattened into extras: one
+        // `metrics.<kind>` value per MetricKind.
+        let extras = cluster.take_extras();
+        for kind in MetricKind::ALL {
+            assert!(
+                extras.get(&format!("metrics.{}", kind.name())).is_some(),
+                "metrics.{} missing from extras",
+                kind.name()
+            );
+        }
+        assert_eq!(extras.get("metrics.jobs_completed"), Some(6.0));
+        assert_eq!(extras.get("snapshots_sent"), Some(totals_sent(&extras)));
+    }
+
+    /// Sum of the per-node snapshot attribution, which must equal the
+    /// cluster-total counter.
+    fn totals_sent(extras: &ExecExtras) -> f64 {
+        (0..8)
+            .filter_map(|i| extras.get(&format!("node{i}.snapshots_sent")))
+            .sum()
+    }
+
+    #[test]
+    fn metrics_off_cluster_exposes_no_metrics_surface() {
+        let mut cluster = ClusterBuilder::new(base_session(32), 2)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim();
+        for j in 0..4 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        cluster.drain().unwrap();
+        assert!(cluster.metrics_report().nodes.is_empty());
+        assert!(cluster.metrics_probe().is_none());
+        let extras = cluster.take_extras();
+        assert!(
+            !extras.values().any(|(k, _)| k.starts_with("metrics.")),
+            "metrics-off extras must stay byte-identical to the seed surface"
+        );
+    }
+
+    #[test]
+    fn drain_summary_replaces_records_with_sketches() {
+        let seed = 33;
+        // Reference: a regular drain of the identical cluster.
+        let mut reference =
+            ClusterBuilder::new(base_session(seed).metrics(MetricsConfig::default()), 2)
+                .route(RoutePolicy::RoundRobin)
+                .build_sim();
+        for j in 0..10 {
+            Executor::submit(&mut reference, chain_job(j)).unwrap();
+        }
+        let stats = reference.drain().unwrap();
+
+        let mut cluster =
+            ClusterBuilder::new(base_session(seed).metrics(MetricsConfig::default()), 2)
+                .route(RoutePolicy::RoundRobin)
+                .build_sim();
+        for j in 0..10 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        let summary = cluster.drain_summary().unwrap();
+        assert_eq!(summary.jobs, 10);
+        assert_eq!(summary.tasks as usize, stats.tasks);
+        assert_eq!(summary.report.nodes.len(), 2);
+        // The merged sketch percentile agrees with the exact
+        // nearest-rank percentile within one bucket's relative error.
+        let totals = summary.report.totals();
+        let sketch_p99 = totals.sojourn.quantile(0.99).expect("10 samples");
+        let exact_p99 = stats.sojourn_percentile(0.99).expect("10 jobs drained");
+        let rel = totals.sojourn.relative_error();
+        assert!(
+            (sketch_p99 - exact_p99).abs() <= exact_p99 * 2.0 * rel + f64::EPSILON,
+            "sketch p99 {sketch_p99} vs exact {exact_p99} (rel {rel})"
+        );
+        // Tickets retired exactly like a drain: nothing left to wait.
+        let t = Executor::submit(&mut cluster, chain_job(10)).unwrap();
+        assert!(Executor::wait(&mut cluster, t).is_ok());
+    }
+
+    #[test]
+    fn cluster_trace_pulls_spans_from_every_node() {
+        let base = base_session(34).metrics(MetricsConfig::default().with_trace());
+        let mut cluster = ClusterBuilder::new(base, 2)
+            .route(RoutePolicy::RoundRobin)
+            .build_sim();
+        for j in 0..4 {
+            Executor::submit(&mut cluster, chain_job(j)).unwrap();
+        }
+        cluster.drain().unwrap();
+        let trace = cluster.collect_trace().unwrap();
+        assert_eq!(trace.nodes.len(), 2);
+        // 4 chain jobs × 4 tasks, split across the nodes.
+        assert!(trace.total_spans() >= 16, "spans: {}", trace.total_spans());
+        assert!(trace.nodes.iter().all(|(_, t)| !t.spans.is_empty()));
+        let json = trace.to_chrome_json();
+        let events = das_sim::validate_chrome_json(&json).expect("valid trace JSON");
+        assert_eq!(
+            events,
+            trace.total_spans() + 2,
+            "spans + process_name metadata"
+        );
+        // The pull drained the node buffers.
+        assert_eq!(cluster.collect_trace().unwrap().total_spans(), 0);
     }
 }

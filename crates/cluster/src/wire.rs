@@ -11,6 +11,7 @@
 
 use das_core::exec::{ExecError, ExecExtras};
 use das_core::jobs::{JobClass, JobId, JobStats};
+use das_core::metrics::{NodeSnapshot, TraceSpan, TRACE_SPAN_SLOTS};
 use das_msg::Payload;
 
 /// Dispatcher → node commands. One command per payload, opcode first.
@@ -22,6 +23,15 @@ pub(crate) const T_ACK: u32 = 2;
 /// is current by the time a command completes. Collapsed to the newest
 /// report with [`das_msg::Endpoint::try_recv_latest`].
 pub(crate) const T_LOAD: u32 = 3;
+/// Node → dispatcher unsolicited metrics snapshots (an encoded
+/// [`NodeSnapshot`]), pushed immediately *before* the load report they
+/// ride with — the dispatcher's keep-latest read then always observes a
+/// snapshot at least as fresh as the load value it routes on. The pair
+/// shares **one** fault decision: a `DropLoadReports`/`DelayLoadReports`
+/// token that suppresses (or staleness-shifts) the load report does the
+/// same to the snapshot. Cumulative counters make the stream
+/// loss-tolerant: any later snapshot subsumes a dropped one.
+pub(crate) const T_METRICS: u32 = 4;
 
 /// The dispatcher's rank on every per-node link.
 pub(crate) const DISPATCHER: usize = 0;
@@ -42,6 +52,17 @@ pub(crate) const OP_SHUTDOWN: f64 = 4.0;
 /// for. The success ack is `[ACK_OK, k, local_0, .., local_{k-1}]`:
 /// the node-local job ids of the admitted batch, in sub-batch order.
 pub(crate) const OP_SUBMIT_MANY: f64 = 5.0;
+/// Pull the node's accumulated execution trace spans (the unified
+/// multi-node chrome trace). Success ack is `[ACK_OK, n]` followed by
+/// `n` encoded [`TraceSpan`]s; the pull drains the node's buffer.
+pub(crate) const OP_PULL_TRACE: f64 = 6.0;
+/// Drain, but reply with a *summary* instead of per-job records:
+/// `[ACK_OK, jobs, tasks, span]`, the extras block, then the node's
+/// post-drain [`NodeSnapshot`] (whose mergeable sketches carry the
+/// percentiles). This is the sketch-backed replacement for shipping
+/// every completion record across the wire solely to compute
+/// cluster-wide percentiles.
+pub(crate) const OP_DRAIN_SUMMARY: f64 = 7.0;
 
 pub(crate) const ACK_OK: f64 = 1.0;
 pub(crate) const ACK_ERR: f64 = 0.0;
@@ -111,22 +132,37 @@ pub(crate) fn decode_jobs(p: &[f64]) -> Vec<JobStats> {
 }
 
 /// f64 slots per encoded [`ExecExtras`].
-pub(crate) const EXTRAS_SLOTS: usize = 5;
+pub(crate) const EXTRAS_SLOTS: usize = 8;
 
-/// Encode the typed counters plus the one open value every current
-/// backend emits (`failed_steals`, from `das-sim`). The open extension
-/// map is string-keyed and cannot transit a numeric payload generally;
-/// unknown keys are intentionally left behind on the node — the
-/// cluster's merged extras carry the cross-backend counters plus its
-/// own per-node attribution values.
+/// The named extras values that transit the wire positionally (after
+/// the typed steals/events slots): `failed_steals` from `das-sim`, and
+/// the agent's snapshot-fault attribution counters — how many metrics
+/// snapshots it sent, and how many a `DropLoadReports` /
+/// `DelayLoadReports` fault suppressed or staleness-shifted since the
+/// last drain. Zero encodes as absent.
+pub(crate) const EXTRAS_KEYS: [&str; 4] = [
+    "failed_steals",
+    "snapshots_sent",
+    "snapshots_dropped",
+    "snapshots_delayed",
+];
+
+/// Encode the typed counters plus the named values of [`EXTRAS_KEYS`].
+/// The open extension map is string-keyed and cannot transit a numeric
+/// payload generally; unknown keys are intentionally left behind on the
+/// node — the cluster's merged extras carry the cross-backend counters
+/// plus its own per-node attribution values.
 pub(crate) fn encode_extras(e: &ExecExtras) -> Payload {
-    vec![
+    let mut out = vec![
         if e.steals.is_some() { 1.0 } else { 0.0 },
         e.steals.unwrap_or(0) as f64,
         if e.events.is_some() { 1.0 } else { 0.0 },
         e.events.unwrap_or(0) as f64,
-        e.get("failed_steals").unwrap_or(0.0),
-    ]
+    ];
+    for key in EXTRAS_KEYS {
+        out.push(e.get(key).unwrap_or(0.0));
+    }
+    out
 }
 
 /// Decode one node's extras encoded by [`encode_extras`].
@@ -139,10 +175,94 @@ pub(crate) fn decode_extras(p: &[f64]) -> ExecExtras {
     if p[2] != 0.0 {
         e.events = Some(p[3] as u64);
     }
-    if p[4] != 0.0 {
-        e.set("failed_steals", p[4]);
+    for (i, key) in EXTRAS_KEYS.iter().enumerate() {
+        if p[4 + i] != 0.0 {
+            e.set(*key, p[4 + i]);
+        }
     }
     e
+}
+
+/// Encode a node's metrics snapshot for a `T_METRICS` frame.
+pub(crate) fn encode_snapshot(s: &NodeSnapshot) -> Payload {
+    s.to_values()
+}
+
+/// Decode a `T_METRICS` frame. `None` on a misframed payload — the
+/// dispatcher skips it and keeps the previous snapshot (the stream is
+/// cumulative, so a skipped frame only costs freshness).
+pub(crate) fn decode_snapshot(p: &[f64]) -> Option<NodeSnapshot> {
+    NodeSnapshot::from_values(p)
+}
+
+/// Encode a successful `OP_PULL_TRACE` reply: `[ACK_OK, n, spans…]`.
+pub(crate) fn encode_trace_ok(spans: &[TraceSpan]) -> Payload {
+    let mut p = Payload::with_capacity(2 + spans.len() * TRACE_SPAN_SLOTS);
+    p.push(ACK_OK);
+    p.push(spans.len() as f64);
+    for s in spans {
+        s.push_values(&mut p);
+    }
+    p
+}
+
+/// Decode the body of a successful `OP_PULL_TRACE` reply (everything
+/// after the `ACK_OK` slot).
+///
+/// # Panics
+/// Panics if the span body disagrees with the count header (a framing
+/// bug, never a data condition).
+pub(crate) fn decode_trace_ok(p: &[f64]) -> Vec<TraceSpan> {
+    let n = p.first().copied().unwrap_or(0.0) as usize;
+    let body = &p[1..];
+    assert_eq!(
+        body.len(),
+        n * TRACE_SPAN_SLOTS,
+        "trace reply misframed: {} spans announced, {} slots",
+        n,
+        body.len()
+    );
+    body.chunks_exact(TRACE_SPAN_SLOTS)
+        .map(|c| TraceSpan::from_values(c).expect("trace span misframed"))
+        .collect()
+}
+
+/// Encode a successful `OP_DRAIN_SUMMARY` reply: `[ACK_OK, jobs,
+/// tasks, t0, t1]`, the extras block, then the node's post-drain
+/// snapshot. `t0`/`t1` are the node's first arrival and last
+/// completion (not a pre-folded span) so the dispatcher can compute
+/// the *global* stream span across nodes — identical to what
+/// `StreamStats::from_jobs` would report over the merged records. An
+/// empty epoch ships the fold identities (`t0 = +inf`, `t1 = 0`).
+pub(crate) fn encode_summary_ok(
+    jobs: u64,
+    tasks: u64,
+    t0: f64,
+    t1: f64,
+    extras: &ExecExtras,
+    snapshot: &NodeSnapshot,
+) -> Payload {
+    let mut p = vec![ACK_OK, jobs as f64, tasks as f64, t0, t1];
+    p.extend(encode_extras(extras));
+    p.extend(snapshot.to_values());
+    p
+}
+
+/// Decode a successful `OP_DRAIN_SUMMARY` reply.
+///
+/// # Panics
+/// Panics if the payload does not frame as header + extras + snapshot.
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_summary_ok(p: &[f64]) -> (u64, u64, f64, f64, ExecExtras, NodeSnapshot) {
+    assert!(
+        p.len() > 5 + EXTRAS_SLOTS,
+        "drain-summary reply misframed: {} slots",
+        p.len()
+    );
+    let extras = decode_extras(&p[5..5 + EXTRAS_SLOTS]);
+    let snapshot = NodeSnapshot::from_values(&p[5 + EXTRAS_SLOTS..])
+        .expect("drain-summary snapshot misframed");
+    (p[1] as u64, p[2] as u64, p[3], p[4], extras, snapshot)
 }
 
 /// Encode an executor error as an acknowledgement payload.
@@ -187,6 +307,7 @@ pub(crate) fn decode_err(p: &[f64], node: usize, detail: String) -> ExecError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use das_core::metrics::ExecProbe;
 
     fn job(id: u64, deadline: Option<f64>) -> JobStats {
         JobStats {
@@ -229,6 +350,104 @@ mod tests {
         assert_eq!(d.get("failed_steals"), Some(4.0));
         let zero = decode_extras(&encode_extras(&ExecExtras::default()));
         assert!(zero.is_empty());
+    }
+
+    fn snapshot(node: u64, seq: u64) -> NodeSnapshot {
+        let mut probe = ExecProbe {
+            queue_depth: 3,
+            jobs_admitted: 40,
+            jobs_completed: 37,
+            tasks_completed: 1480,
+            steals: 12,
+            failed_steals: 2,
+            events: 9000,
+            busy: 1.5,
+            capacity: 2.0,
+            ptt_residual: 0.25,
+            ..ExecProbe::default()
+        };
+        probe.sojourn.record(0.001);
+        probe.sojourn.record(0.25);
+        probe.queueing.record(1e-4);
+        NodeSnapshot { node, seq, probe }
+    }
+
+    #[test]
+    fn metrics_snapshots_round_trip_bit_exact() {
+        let s = snapshot(2, 17);
+        let decoded = decode_snapshot(&encode_snapshot(&s)).expect("well-framed");
+        assert_eq!(decoded, s);
+        // Sketch counts survive exactly (the merge path depends on it).
+        assert_eq!(decoded.probe.sojourn.count(), 2);
+    }
+
+    #[test]
+    fn misframed_snapshots_decode_to_none() {
+        let mut p = encode_snapshot(&snapshot(0, 1));
+        p.push(0.0); // trailing junk
+        assert_eq!(decode_snapshot(&p), None);
+        assert_eq!(decode_snapshot(&[1.0, 2.0]), None);
+        assert_eq!(decode_snapshot(&[]), None);
+    }
+
+    #[test]
+    fn trace_replies_round_trip() {
+        let spans = vec![
+            TraceSpan {
+                core: 1,
+                start: 0.5,
+                end: 1.25,
+                task: 7,
+                ty: 3,
+                leader: 0,
+                width: 2,
+                tag: 4,
+            },
+            TraceSpan {
+                core: 0,
+                start: 0.0,
+                end: 0.125,
+                task: 8,
+                ty: 0,
+                leader: 0,
+                width: 1,
+                tag: 0,
+            },
+        ];
+        let p = encode_trace_ok(&spans);
+        assert_eq!(p.first(), Some(&ACK_OK));
+        assert_eq!(decode_trace_ok(&p[1..]), spans);
+        assert!(decode_trace_ok(&encode_trace_ok(&[])[1..]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "misframed")]
+    fn misframed_trace_reply_panics() {
+        decode_trace_ok(&[2.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn drain_summary_round_trips() {
+        let mut extras = ExecExtras::default();
+        extras.steals = Some(5);
+        extras.set("snapshots_sent", 3.0);
+        extras.set("snapshots_dropped", 1.0);
+        let s = snapshot(1, 9);
+        let p = encode_summary_ok(37, 1480, 0.25, 12.75, &extras, &s);
+        let (jobs, tasks, t0, t1, ext, snap) = decode_summary_ok(&p);
+        assert_eq!((jobs, tasks), (37, 1480));
+        assert_eq!((t0, t1), (0.25, 12.75));
+        assert_eq!(ext.steals, Some(5));
+        assert_eq!(ext.get("snapshots_sent"), Some(3.0));
+        assert_eq!(ext.get("snapshots_dropped"), Some(1.0));
+        assert_eq!(ext.get("snapshots_delayed"), None, "zero stays absent");
+        assert_eq!(snap, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "misframed")]
+    fn misframed_summary_panics() {
+        decode_summary_ok(&[ACK_OK, 1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -391,6 +391,30 @@ pub trait Executor {
         ExecExtras::default()
     }
 
+    /// The backend's **cumulative** observability state
+    /// ([`crate::metrics::ExecProbe`]): counters since session start
+    /// plus the mergeable sojourn/queueing sketches. Unlike
+    /// [`take_extras`](Executor::take_extras) this does *not* drain —
+    /// probing is idempotent, so the cluster's node agents can snapshot
+    /// on every logical trigger without perturbing anything.
+    ///
+    /// The default returns `None`: the backend either does not support
+    /// metrics or they were not enabled
+    /// ([`SessionBuilder::metrics`]).
+    fn metrics_probe(&mut self) -> Option<crate::metrics::ExecProbe> {
+        None
+    }
+
+    /// Drain the execution trace spans accumulated since the last call
+    /// (session-clock timestamps). Only populated by backends that
+    /// record traces and only when
+    /// [`MetricsConfig::trace`](crate::metrics::MetricsConfig::trace)
+    /// is enabled; the default returns nothing. The cluster pulls these
+    /// per node to assemble the unified multi-node chrome trace.
+    fn take_trace_spans(&mut self) -> Vec<crate::metrics::TraceSpan> {
+        Vec::new()
+    }
+
     /// Submit every job of `jobs`, drain, and assemble the
     /// [`ExecReport`]. The backend-neutral equivalent of the old
     /// `Simulator::run_stream`.
@@ -529,6 +553,16 @@ pub struct SessionBuilder {
     /// ignore it. `None` (the default) injects nothing and keeps every
     /// execution path bit-identical to a fault-free session.
     pub fault_schedule: Option<crate::fault::FaultSchedule>,
+    /// Opt-in observability plane
+    /// ([`crate::metrics::MetricsConfig`]): backends accumulate
+    /// mergeable percentile sketches and counters, cluster node agents
+    /// stream periodic [`crate::metrics::NodeSnapshot`]s, and the
+    /// dispatcher merges them into a
+    /// [`crate::metrics::MetricsReport`]. `None` (the default) records
+    /// nothing — the disabled path stays free (the `perf_gate`
+    /// `metrics_overhead_pct` series pins the enabled cost, CI pins
+    /// the disabled floors).
+    pub metrics: Option<crate::metrics::MetricsConfig>,
 }
 
 impl SessionBuilder {
@@ -550,6 +584,7 @@ impl SessionBuilder {
             ingress_shards: 8,
             max_outstanding: None,
             fault_schedule: None,
+            metrics: None,
         }
     }
 
@@ -624,6 +659,14 @@ impl SessionBuilder {
     /// when it spawns node agents; single-node backends ignore it.
     pub fn fault_schedule(mut self, faults: crate::fault::FaultSchedule) -> Self {
         self.fault_schedule = Some(faults);
+        self
+    }
+
+    /// Enable the observability plane with `cfg`
+    /// ([`SessionBuilder::metrics`] stays `None` — i.e. free — unless
+    /// this is called).
+    pub fn metrics(mut self, cfg: crate::metrics::MetricsConfig) -> Self {
+        self.metrics = Some(cfg);
         self
     }
 
@@ -914,7 +957,12 @@ mod tests {
             .park_timeout(Duration::from_millis(1))
             .ingress_shards(4)
             .max_outstanding(128)
-            .fault_schedule(crate::fault::FaultSchedule::new(9).kill(1, 50));
+            .fault_schedule(crate::fault::FaultSchedule::new(9).kill(1, 50))
+            .metrics(
+                crate::metrics::MetricsConfig::default()
+                    .every(16)
+                    .with_trace(),
+            );
         assert_eq!(s.seed, 9);
         assert_eq!(s.ratio, WeightRatio::new(2, 5));
         assert_eq!(s.discipline, QueueDiscipline::PLAIN_LIFO);
@@ -925,6 +973,19 @@ mod tests {
         assert_eq!(
             s.fault_schedule,
             Some(crate::fault::FaultSchedule::new(9).kill(1, 50))
+        );
+        assert_eq!(
+            s.metrics,
+            Some(crate::metrics::MetricsConfig {
+                snapshot_every: 16,
+                trace: true
+            })
+        );
+        assert!(
+            SessionBuilder::new(Arc::clone(&topo), Policy::DamP)
+                .metrics
+                .is_none(),
+            "metrics stay off (free) unless opted in"
         );
         let sched = s.scheduler();
         assert_eq!(sched.policy(), Policy::DamP);

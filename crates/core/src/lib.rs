@@ -62,6 +62,7 @@ pub mod exec;
 pub mod fault;
 pub mod ingress;
 pub mod jobs;
+pub mod metrics;
 mod policy;
 mod ptt;
 mod queue;
@@ -71,6 +72,9 @@ pub use exec::{ExecError, ExecExtras, ExecReport, Executor, SessionBuilder, Tick
 pub use fault::{FaultEvent, FaultKind, FaultPlane, FaultSchedule};
 pub use ingress::{CachePadded, Ingress, IngressTicket};
 pub use jobs::{JobClass, JobId, JobSpec, JobStats, StreamStats};
+pub use metrics::{
+    ExecProbe, LogHistogram, MetricKind, MetricsConfig, MetricsReport, NodeSnapshot, TraceSpan,
+};
 pub use policy::Policy;
 pub use ptt::{Ptt, PttRegistry, PttSnapshot, WeightRatio};
 pub use queue::{QueueDiscipline, ReadyEntry, ReadyQueue};

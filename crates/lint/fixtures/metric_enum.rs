@@ -1,0 +1,10 @@
+//! Rule 5 fixture: a metric-family enum in the shape of
+//! `das_core::MetricKind`.
+
+#[derive(Clone, Copy, Debug)]
+pub enum MetricKind {
+    QueueDepth,
+    JobsCompleted,
+    Utilization,
+    SojournP99,
+}

@@ -1,0 +1,11 @@
+//! Rule 5 fixture: every metric kind merged to a scalar — the clean
+//! `metric_scalar`-style match.
+
+pub fn metric_scalar(kind: MetricKind, t: &Probe) -> f64 {
+    match kind {
+        MetricKind::QueueDepth => t.queue_depth as f64,
+        MetricKind::JobsCompleted => t.jobs_completed as f64,
+        MetricKind::Utilization => t.utilization(),
+        MetricKind::SojournP99 => t.sojourn.quantile(0.99).unwrap_or(0.0),
+    }
+}

@@ -1,0 +1,10 @@
+//! Rule 5 fixture: a wildcard arm hides two metric kinds — the
+//! cross-file check must still flag both.
+
+pub fn metric_scalar(kind: MetricKind, t: &Probe) -> f64 {
+    match kind {
+        MetricKind::QueueDepth => t.queue_depth as f64,
+        MetricKind::JobsCompleted => t.jobs_completed as f64,
+        _ => 0.0,
+    }
+}

@@ -1,0 +1,9 @@
+//! Rule 5 fixture: every metric kind has a dashboard row — the clean
+//! `cluster_top`-style render matrix.
+
+pub const ROWS: [(MetricKind, &str); 4] = [
+    (MetricKind::QueueDepth, "jobs"),
+    (MetricKind::JobsCompleted, "jobs"),
+    (MetricKind::Utilization, "%"),
+    (MetricKind::SojournP99, "s"),
+];

@@ -1,0 +1,7 @@
+//! Rule 5 fixture: the dashboard forgot its p99 row.
+
+pub const ROWS: [(MetricKind, &str); 3] = [
+    (MetricKind::QueueDepth, "jobs"),
+    (MetricKind::JobsCompleted, "jobs"),
+    (MetricKind::Utilization, "%"),
+];

@@ -129,6 +129,19 @@ impl Config {
                     enum_name: "FaultKind".to_string(),
                     target_file: PathBuf::from("crates/cluster/src/lib.rs"),
                 },
+                // Every metric family must have a cluster-merge scalar
+                // (the `metric_scalar` match) …
+                Contract {
+                    enum_file: PathBuf::from("crates/core/src/metrics.rs"),
+                    enum_name: "MetricKind".to_string(),
+                    target_file: PathBuf::from("crates/cluster/src/lib.rs"),
+                },
+                // … and a row in the cluster_top dashboard.
+                Contract {
+                    enum_file: PathBuf::from("crates/core/src/metrics.rs"),
+                    enum_name: "MetricKind".to_string(),
+                    target_file: PathBuf::from("examples/cluster_top.rs"),
+                },
             ],
             wire: Some(WireContract {
                 wire_file: PathBuf::from("crates/cluster/src/wire.rs"),

@@ -203,6 +203,55 @@ fn contract_full_coverage_is_clean_and_stale_enum_is_loud() {
 }
 
 #[test]
+fn metric_contract_accepts_full_merge_and_render_matrices() {
+    let e = mask(&fixture("metric_enum.rs"));
+    for target in ["metric_merge_full.rs", "metric_render_full.rs"] {
+        let t = mask(&fixture(target));
+        let diags = check_contract(
+            Path::new("metric_enum.rs"),
+            &e,
+            "MetricKind",
+            Path::new(target),
+            &t,
+        );
+        assert_eq!(diags, vec![], "{target} covers every metric kind");
+    }
+}
+
+#[test]
+fn metric_contract_flags_wildcard_hidden_and_forgotten_kinds() {
+    let e = mask(&fixture("metric_enum.rs"));
+
+    // A wildcard match arm hides two kinds from the merge.
+    let t = mask(&fixture("metric_merge_partial.rs"));
+    let diags = check_contract(
+        Path::new("metric_enum.rs"),
+        &e,
+        "MetricKind",
+        Path::new("metric_merge_partial.rs"),
+        &t,
+    );
+    assert_eq!(diags.len(), 2);
+    assert!(diags.iter().all(|d| d.rule == RULE_CONTRACT));
+    assert!(diags[0].msg.contains("MetricKind::Utilization"));
+    assert_eq!(diags[0].line, 8, "Utilization is declared on line 8");
+    assert!(diags[1].msg.contains("MetricKind::SojournP99"));
+    assert_eq!(diags[1].line, 9, "SojournP99 is declared on line 9");
+
+    // The dashboard render matrix misses its p99 row.
+    let t = mask(&fixture("metric_render_partial.rs"));
+    let diags = check_contract(
+        Path::new("metric_enum.rs"),
+        &e,
+        "MetricKind",
+        Path::new("metric_render_partial.rs"),
+        &t,
+    );
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].msg.contains("MetricKind::SojournP99"));
+}
+
+#[test]
 fn clean_fixture_is_clean_under_strictest_classification() {
     assert_eq!(audit("clean.rs", DET_LIB), vec![]);
 }

@@ -79,7 +79,10 @@ pub use graph::{TaskCtx, TaskFn, TaskGraph};
 pub use stats::{PlaceKey, RtStats};
 
 use das_core::exec::{session_tag, ExecError, ExecExtras, Executor, SessionBuilder, Ticket};
-use das_core::{Policy, QueueDiscipline, ReadyEntry, ReadyQueue, Scheduler};
+use das_core::metrics::ExecProbe;
+use das_core::{
+    Policy, PttSnapshot, QueueDiscipline, ReadyEntry, ReadyQueue, Scheduler, TaskTypeId,
+};
 use das_dag::{DagError, TaskId};
 use das_topology::{CoreId, ExecutionPlace, Topology};
 use parking_lot::{Condvar, Mutex};
@@ -607,6 +610,53 @@ pub struct Runtime {
     /// it depends only on the client's submit/wait/drain sequence,
     /// never on how fast workers happen to retire jobs.
     max_outstanding: Option<usize>,
+    /// Observability probe behind [`SessionBuilder::metrics`]; `None`
+    /// (the default) keeps every façade path branch-cheap and
+    /// allocation-free.
+    metrics: Option<RtMetrics>,
+}
+
+/// Observability state of the [`Executor`] façade: the cumulative
+/// [`ExecProbe`] fed at submit/wait/drain, plus the previous PTT
+/// snapshots the convergence residual is measured against. The
+/// runtime's utilisation gauge accumulates per-job (`busy` = kernel
+/// time, `capacity` = job makespan × cores), so with overlapping jobs
+/// it is a per-job-normalised figure, not a wall-clock one.
+#[derive(Default)]
+struct RtMetrics {
+    probe: ExecProbe,
+    /// Snapshot of each PTT table at the previous drain, indexed by
+    /// task type; grown as new types appear.
+    last_ptt: Vec<PttSnapshot>,
+}
+
+impl RtMetrics {
+    /// Largest absolute PTT entry movement since the previous call,
+    /// across every table the scheduler has learned. A table seen for
+    /// the first time contributes its largest absolute entry (movement
+    /// from the all-zero initial model).
+    fn ptt_residual(&mut self, sched: &Scheduler) -> f64 {
+        let mut max = 0.0f64;
+        for ty in 0..sched.ptts().len() {
+            let snap = sched.ptts().table(TaskTypeId(ty as u16)).snapshot();
+            let d = match self.last_ptt.get(ty) {
+                Some(prev) => snap.delta(prev),
+                None => snap
+                    .rows
+                    .iter()
+                    .flatten()
+                    .filter(|v| !v.is_nan())
+                    .fold(0.0f64, |m, v| m.max(v.abs())),
+            };
+            max = max.max(d);
+            if ty < self.last_ptt.len() {
+                self.last_ptt[ty] = snap;
+            } else {
+                self.last_ptt.push(snap);
+            }
+        }
+        max
+    }
 }
 
 impl Runtime {
@@ -633,6 +683,7 @@ impl Runtime {
             rt = rt.park_timeout(timeout);
         }
         rt.max_outstanding = session.max_outstanding;
+        rt.metrics = session.metrics.map(|_| RtMetrics::default());
         rt
     }
 
@@ -670,6 +721,7 @@ impl Runtime {
             exec_extras: ExecExtras::default(),
             exec_session: session_tag(),
             max_outstanding: None,
+            metrics: None,
         }
     }
 
@@ -859,6 +911,9 @@ impl Executor for Runtime {
         let handle = Runtime::submit(self, spec).map_err(|e| ExecError::Rejected(e.to_string()))?;
         let id = handle.id();
         self.exec_tickets.insert(id.0, handle);
+        if let Some(m) = &mut self.metrics {
+            m.probe.jobs_admitted += 1;
+        }
         Ok(Ticket::new(self.exec_session, id))
     }
 
@@ -873,14 +928,18 @@ impl Executor for Runtime {
         self.check_admission(specs.len())?;
         let handles =
             Runtime::submit_batch(self, specs).map_err(|e| ExecError::Rejected(e.to_string()))?;
-        Ok(handles
+        let tickets: Vec<Ticket> = handles
             .into_iter()
             .map(|handle| {
                 let id = handle.id();
                 self.exec_tickets.insert(id.0, handle);
                 Ticket::new(self.exec_session, id)
             })
-            .collect())
+            .collect();
+        if let Some(m) = &mut self.metrics {
+            m.probe.jobs_admitted += tickets.len() as u64;
+        }
+        Ok(tickets)
     }
 
     fn wait(&mut self, ticket: Ticket) -> Result<JobStats, ExecError> {
@@ -894,6 +953,21 @@ impl Executor for Runtime {
             .ok_or(ExecError::UnknownTicket(id))?;
         let outcome = handle.wait();
         *self.exec_extras.steals.get_or_insert(0) += outcome.rt.steals as u64;
+        if let Some(m) = &mut self.metrics {
+            m.probe.jobs_completed += 1;
+            m.probe.tasks_completed += outcome.stats.tasks as u64;
+            m.probe.steals += outcome.rt.steals as u64;
+            m.probe.sojourn.record(outcome.stats.sojourn());
+            m.probe.queueing.record(outcome.stats.queueing());
+            m.probe.busy += outcome
+                .rt
+                .core_busy
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum::<f64>();
+            m.probe.capacity +=
+                outcome.rt.makespan.as_secs_f64() * outcome.rt.core_busy.len() as f64;
+        }
         Ok(outcome.stats)
     }
 
@@ -903,17 +977,48 @@ impl Executor for Runtime {
         // the leftover (un-waited) tickets' steal counts straight from
         // the per-job counters — no JobOutcome clone — and retire the
         // handles.
-        for (_, handle) in self.exec_tickets.drain() {
-            *self.exec_extras.steals.get_or_insert(0) +=
-                // relaxed-ok: read after wait() completed the job; the
-                // completion handshake ordered the counter updates.
-                handle.job.steals.load(Ordering::Relaxed) as u64;
+        for (_, handle) in std::mem::take(&mut self.exec_tickets) {
+            // relaxed-ok: read after wait() completed the job; the
+            // completion handshake ordered the counter updates.
+            let steals = handle.job.steals.load(Ordering::Relaxed) as u64;
+            *self.exec_extras.steals.get_or_insert(0) += steals;
+            if let Some(m) = &mut self.metrics {
+                m.probe.steals += steals;
+                // The pool is drained, so every retained handle has an
+                // outcome; bank its utilisation contribution.
+                if let Some(out) = handle.try_outcome() {
+                    m.probe.busy += out
+                        .rt
+                        .core_busy
+                        .iter()
+                        .map(|d| d.as_secs_f64())
+                        .sum::<f64>();
+                    m.probe.capacity +=
+                        out.rt.makespan.as_secs_f64() * out.rt.core_busy.len() as f64;
+                }
+            }
+        }
+        if let Some(m) = &mut self.metrics {
+            for r in &records {
+                m.probe.jobs_completed += 1;
+                m.probe.tasks_completed += r.tasks as u64;
+                m.probe.sojourn.record(r.sojourn());
+                m.probe.queueing.record(r.queueing());
+            }
+            m.probe.ptt_residual = m.ptt_residual(&self.sched);
         }
         Ok(StreamStats::from_jobs(records))
     }
 
     fn take_extras(&mut self) -> ExecExtras {
         std::mem::take(&mut self.exec_extras)
+    }
+
+    fn metrics_probe(&mut self) -> Option<ExecProbe> {
+        let depth = self.exec_tickets.len() as u64;
+        let m = self.metrics.as_mut()?;
+        m.probe.queue_depth = depth;
+        Some(m.probe.clone())
     }
 }
 
@@ -1463,6 +1568,51 @@ mod tests {
         let mut g = TaskGraph::new("s");
         g.add(TaskTypeId(0), Priority::Low, |_| {});
         assert_eq!(runtime.run_dag(g).unwrap().tasks(), 1);
+        // Metrics are off by default — the probe stays absent.
+        assert!(runtime.metrics_probe().is_none());
+    }
+
+    #[test]
+    fn exec_metrics_probe_tracks_the_facade_job_stream() {
+        let topo = Arc::new(Topology::symmetric(2));
+        let session = SessionBuilder::new(Arc::clone(&topo), Policy::DamC)
+            .metrics(das_core::MetricsConfig::default());
+        let mut runtime = Runtime::from_session(&session);
+        let graph = || {
+            let mut g = TaskGraph::new("m");
+            let a = g.add(TaskTypeId(0), Priority::Low, |_| {});
+            let b = g.add(TaskTypeId(0), Priority::Low, |_| {});
+            g.add_edge(a, b);
+            g
+        };
+        let t = Executor::submit(&mut runtime, JobSpec::new(graph())).unwrap();
+        let waited = Executor::wait(&mut runtime, t).unwrap();
+        Executor::submit_many(
+            &mut runtime,
+            (0..3).map(|_| JobSpec::new(graph())).collect(),
+        )
+        .unwrap();
+        let probe = runtime.metrics_probe().expect("metrics enabled");
+        assert_eq!(probe.jobs_admitted, 4);
+        assert_eq!(probe.jobs_completed, 1);
+        assert_eq!(probe.queue_depth, 3);
+        assert_eq!(probe.tasks_completed, waited.tasks as u64);
+        assert_eq!(probe.sojourn.count(), 1);
+        let drained = Executor::drain(&mut runtime).unwrap();
+        assert_eq!(drained.jobs.len(), 3);
+        let probe = runtime.metrics_probe().unwrap();
+        assert_eq!(probe.jobs_completed, 4);
+        assert_eq!(probe.queue_depth, 0);
+        assert_eq!(probe.tasks_completed, 8);
+        assert_eq!(probe.sojourn.count(), 4);
+        assert_eq!(probe.queueing.count(), 4);
+        assert!(probe.busy > 0.0 || probe.capacity >= 0.0);
+        assert!(probe.ptt_residual >= 0.0);
+        // The probe is a read, not a take: a second read is identical.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        runtime.metrics_probe().unwrap().push_values(&mut a);
+        probe.push_values(&mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

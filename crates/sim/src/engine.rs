@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use das_core::exec::{session_tag, ExecError, ExecExtras, Executor, SessionBuilder, Ticket};
 use das_core::jobs::{JobId, JobSpec, JobStats, StreamStats};
-use das_core::{ReadyEntry, ReadyQueue, Scheduler, TaskTypeId};
+use das_core::metrics::{ExecProbe, MetricsConfig, TraceSpan};
+use das_core::{PttSnapshot, ReadyEntry, ReadyQueue, Scheduler, TaskTypeId};
 use das_dag::{Dag, DagError, TaskId};
 use das_topology::{CoreId, ExecutionPlace};
 use rand::rngs::SmallRng;
@@ -229,6 +230,64 @@ pub struct Simulator {
     /// cross-batch aggregates (span, jobs/sec) are on one timeline —
     /// the truth of how the session executed the batches: sequentially.
     session_clock: f64,
+    /// Observability state ([`SessionBuilder::metrics`]); `None` (the
+    /// default) records nothing — the disabled path costs one branch
+    /// per flush.
+    metrics: Option<SessionMetrics>,
+}
+
+/// The simulator's half of the observability plane: a cumulative
+/// [`ExecProbe`] fed by every executed batch, the previous PTT
+/// snapshots (for the convergence residual), and — when trace recording
+/// is on — the session-clock trace spans of every batch, accumulated
+/// for [`Executor::take_trace_spans`].
+struct SessionMetrics {
+    cfg: MetricsConfig,
+    probe: ExecProbe,
+    /// Snapshot of each PTT table at the previous flush, indexed by
+    /// task type; grown as new types appear.
+    last_ptt: Vec<PttSnapshot>,
+    /// Session-offset spans of every flushed batch (empty unless
+    /// `cfg.trace`).
+    spans: Vec<TraceSpan>,
+}
+
+impl SessionMetrics {
+    fn new(cfg: MetricsConfig) -> Self {
+        SessionMetrics {
+            cfg,
+            probe: ExecProbe::default(),
+            last_ptt: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Largest absolute PTT entry movement since the previous call,
+    /// across every table the scheduler has learned. A table seen for
+    /// the first time contributes its largest absolute entry (movement
+    /// from the all-zero initial model).
+    fn ptt_residual(&mut self, sched: &Scheduler) -> f64 {
+        let mut max = 0.0f64;
+        for ty in 0..sched.ptts().len() {
+            let snap = sched.ptts().table(TaskTypeId(ty as u16)).snapshot();
+            let d = match self.last_ptt.get(ty) {
+                Some(prev) => snap.delta(prev),
+                None => snap
+                    .rows
+                    .iter()
+                    .flatten()
+                    .filter(|v| !v.is_nan())
+                    .fold(0.0f64, |m, v| m.max(v.abs())),
+            };
+            max = max.max(d);
+            if ty < self.last_ptt.len() {
+                self.last_ptt[ty] = snap;
+            } else {
+                self.last_ptt.push(snap);
+            }
+        }
+        max
+    }
 }
 
 impl Simulator {
@@ -277,6 +336,7 @@ impl Simulator {
             exec_extras: ExecExtras::default(),
             exec_session: session_tag(),
             session_clock: 0.0,
+            metrics: None,
             cfg,
         }
     }
@@ -293,6 +353,9 @@ impl Simulator {
         let mut sim = Simulator::new(SimConfig::from_session(session));
         sim.replace_scheduler(Arc::new(session.scheduler()));
         sim.max_outstanding = session.max_outstanding;
+        if let Some(cfg) = session.metrics {
+            sim.enable_metrics(cfg);
+        }
         sim
     }
 
@@ -309,7 +372,26 @@ impl Simulator {
         let mut sim = Simulator::new(SimConfig::from_session(session).cost(cost));
         sim.replace_scheduler(Arc::new(session.scheduler()));
         sim.max_outstanding = session.max_outstanding;
+        if let Some(cfg) = session.metrics {
+            sim.enable_metrics(cfg);
+        }
         sim
+    }
+
+    /// Turn on the observability plane for this session: every flushed
+    /// batch feeds the cumulative [`ExecProbe`] (counters, utilization,
+    /// PTT residual, sojourn/queueing sketches) returned by
+    /// [`Executor::metrics_probe`]; with
+    /// [`MetricsConfig::trace`] set, batch traces are also retained on
+    /// the session clock for [`Executor::take_trace_spans`]. A pure
+    /// observer: it reads completed-batch state only and never touches
+    /// the RNG or the event loop, so enabling it leaves the executed
+    /// job stream bit-identical.
+    pub fn enable_metrics(&mut self, cfg: MetricsConfig) {
+        if cfg.trace {
+            self.record_trace = true;
+        }
+        self.metrics = Some(SessionMetrics::new(cfg));
     }
 
     /// Record per-core execution [`Span`]s during subsequent runs;
@@ -479,6 +561,9 @@ impl Simulator {
         let id = JobId(self.next_ticket);
         self.next_ticket += 1;
         self.pending_specs.push(spec);
+        if let Some(m) = &mut self.metrics {
+            m.probe.jobs_admitted += 1;
+        }
         Ok(id)
     }
 
@@ -561,13 +646,55 @@ impl Simulator {
             if let Some(d) = &mut job.deadline {
                 *d += offset;
             }
+            // Observability is a pure read of the completed record:
+            // sketches are fed in batch job-id order (deterministic),
+            // before the ledger's hashed insertion can reorder anything.
+            if let Some(m) = &mut self.metrics {
+                m.probe.jobs_completed += 1;
+                m.probe.sojourn.record(job.sojourn());
+                m.probe.queueing.record(job.queueing());
+            }
             self.ledger.insert(job.id.0, job);
+        }
+        if let Some(m) = &mut self.metrics {
+            m.probe.tasks_completed += run.tasks as u64;
+            m.probe.steals += run.steals as u64;
+            m.probe.failed_steals += run.failed_steals as u64;
+            m.probe.events += run.events;
+            m.probe.busy += run.core_busy.iter().sum::<f64>();
+            m.probe.capacity += run.makespan * run.core_busy.len() as f64;
+        }
+        if self
+            .metrics
+            .as_ref()
+            .is_some_and(|m| m.cfg.trace && self.record_trace)
+        {
+            // Batch traces restart at simulated zero; re-anchor on the
+            // session clock so the multi-batch (and multi-node) merge
+            // shares one timeline.
+            let batch = std::mem::take(&mut self.trace);
+            let m = self.metrics.as_mut().expect("checked above");
+            m.spans.extend(batch.spans.iter().map(|s| TraceSpan {
+                core: s.core,
+                start: s.start + offset,
+                end: s.end + offset,
+                task: s.task.0 as u64,
+                ty: s.ty.0,
+                leader: s.place.0,
+                width: s.place.1,
+                tag: s.tag,
+            }));
         }
         self.session_clock += run.makespan;
         *self.exec_extras.events.get_or_insert(0) += run.events;
         *self.exec_extras.steals.get_or_insert(0) += run.steals as u64;
         self.exec_extras
             .bump("failed_steals", run.failed_steals as f64);
+        // The residual reads the scheduler's PTTs once per flush — the
+        // "has the model settled" signal of the snapshot stream.
+        if let Some(m) = &mut self.metrics {
+            m.probe.ptt_residual = m.ptt_residual(&self.sched);
+        }
         Ok(())
     }
 
@@ -1126,6 +1253,9 @@ impl Executor for Simulator {
                 Ok(id) => tickets.push(Ticket::new(self.exec_session, id)),
                 Err(e) => {
                     self.pending_specs.truncate(saved_pending);
+                    if let Some(m) = &mut self.metrics {
+                        m.probe.jobs_admitted -= self.next_ticket - saved_next;
+                    }
                     self.next_ticket = saved_next;
                     return Err(e.into());
                 }
@@ -1147,6 +1277,20 @@ impl Executor for Simulator {
 
     fn take_extras(&mut self) -> ExecExtras {
         std::mem::take(&mut self.exec_extras)
+    }
+
+    fn metrics_probe(&mut self) -> Option<ExecProbe> {
+        let depth = self.outstanding_jobs() as u64;
+        let m = self.metrics.as_mut()?;
+        m.probe.queue_depth = depth;
+        Some(m.probe.clone())
+    }
+
+    fn take_trace_spans(&mut self) -> Vec<TraceSpan> {
+        self.metrics
+            .as_mut()
+            .map(|m| std::mem::take(&mut m.spans))
+            .unwrap_or_default()
     }
 }
 
@@ -1690,5 +1834,85 @@ mod tests {
             s.run(&dag).unwrap().makespan
         };
         assert!(mk(true) > mk(false));
+    }
+
+    fn metrics_session(metrics: Option<MetricsConfig>) -> Simulator {
+        let mut session = SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC).seed(0xfeed);
+        if let Some(cfg) = metrics {
+            session = session.metrics(cfg);
+        }
+        Simulator::from_session(&session)
+    }
+
+    fn metrics_stream(s: &mut Simulator) -> StreamStats {
+        for i in 0..12u64 {
+            let dag = generators::layered(TaskTypeId(0), 3, 20);
+            Executor::submit(s, JobSpec::new(dag).at(i as f64 * 1e-3)).unwrap();
+        }
+        Executor::drain(s).unwrap()
+    }
+
+    #[test]
+    fn metrics_are_a_pure_observer_of_the_job_stream() {
+        let mut off = metrics_session(None);
+        let mut on = metrics_session(Some(MetricsConfig::default().with_trace()));
+        let a = metrics_stream(&mut off);
+        let b = metrics_stream(&mut on);
+        assert_eq!(a, b, "enabling metrics must not move a single bit");
+        assert!(
+            off.metrics_probe().is_none(),
+            "disabled session has no probe"
+        );
+    }
+
+    #[test]
+    fn probe_accumulates_across_batches_and_reads_idempotently() {
+        let mut s = metrics_session(Some(MetricsConfig::default()));
+        let stats = metrics_stream(&mut s);
+        let p1 = s.metrics_probe().expect("metrics enabled");
+        assert_eq!(p1.jobs_admitted, 12);
+        assert_eq!(p1.jobs_completed, 12);
+        assert_eq!(p1.tasks_completed, stats.tasks as u64);
+        assert_eq!(p1.sojourn.count(), 12);
+        assert_eq!(p1.queueing.count(), 12);
+        assert_eq!(p1.queue_depth, 0, "drained session holds nothing");
+        assert!(p1.utilization() > 0.0 && p1.utilization() <= 1.0);
+        assert!(
+            p1.ptt_residual > 0.0,
+            "first flush trains the PTT from zero"
+        );
+        assert_eq!(
+            s.metrics_probe().expect("still enabled"),
+            p1,
+            "probe does not drain"
+        );
+        // Second batch: counters keep growing on the same probe.
+        metrics_stream(&mut s);
+        let p2 = s.metrics_probe().unwrap();
+        assert_eq!(p2.jobs_completed, 24);
+        assert_eq!(p2.sojourn.count(), 24);
+    }
+
+    #[test]
+    fn trace_spans_accumulate_on_the_session_clock() {
+        let mut s = metrics_session(Some(MetricsConfig::default().with_trace()));
+        metrics_stream(&mut s);
+        let first_makespan = s.session_clock;
+        metrics_stream(&mut s);
+        let spans = Executor::take_trace_spans(&mut s);
+        assert!(
+            spans.len() >= 2 * 12 * 60,
+            "every task of both batches leaves at least one span, got {}",
+            spans.len()
+        );
+        assert!(
+            spans.iter().any(|sp| sp.start >= first_makespan),
+            "second batch re-anchors past the first batch's makespan"
+        );
+        assert!(spans.iter().all(|sp| sp.end >= sp.start));
+        assert!(
+            Executor::take_trace_spans(&mut s).is_empty(),
+            "take_trace_spans drains"
+        );
     }
 }

@@ -1,10 +1,12 @@
-//! Execution tracing: per-core task spans, utilisation accounting and an
-//! ASCII Gantt view.
+//! Execution tracing: per-core task spans, utilisation accounting, an
+//! ASCII Gantt view, and the multi-node merge behind the cluster's
+//! unified chrome trace.
 //!
 //! Tracing is opt-in ([`crate::Simulator::record_trace`]) because the
 //! paper-sized runs commit tens of thousands of tasks; when enabled, one
 //! [`Span`] is recorded per participating core per assembly.
 
+use das_core::metrics::TraceSpan;
 use das_core::TaskTypeId;
 use das_dag::TaskId;
 use std::fmt::Write as _;
@@ -95,7 +97,12 @@ impl Trace {
     ///
     /// The JSON is emitted by hand — the format is flat and all fields
     /// are numbers or already-escaped short strings, so pulling in a
-    /// serialisation crate is not warranted.
+    /// serialisation crate is not warranted. Numeric fields are
+    /// sanitised through `json_num`: JSON has no `NaN`/`Infinity`
+    /// tokens, so a span with a non-finite timestamp (e.g. a task that
+    /// never started) must not poison the whole file, and a negative
+    /// duration (clock skew between merged sources) is clamped to the
+    /// zero-duration span the format does allow.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(64 + self.spans.len() * 128);
         out.push_str("{\"traceEvents\":[");
@@ -103,20 +110,7 @@ impl Trace {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"name\":\"{} {}\",\"cat\":\"task\",\"ph\":\"X\",\
-                 \"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\
-                 \"args\":{{\"place\":\"(C{},{})\",\"tag\":{}}}}}",
-                s.ty,
-                s.task,
-                s.start * 1e6,
-                s.duration() * 1e6,
-                s.core,
-                s.place.0,
-                s.place.1,
-                s.tag,
-            );
+            push_chrome_event(&mut out, 0, s);
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
@@ -179,6 +173,338 @@ impl Trace {
             out.push('\n');
         }
         out
+    }
+
+    /// Rebuild a trace from the backend-neutral numeric spans returned
+    /// by `Executor::take_trace_spans` — the inverse of the conversion
+    /// the simulator's session path applies, used by the cluster's
+    /// unified-trace assembly.
+    pub fn from_trace_spans(num_cores: usize, spans: &[TraceSpan]) -> Trace {
+        let mut makespan = 0.0f64;
+        let spans: Vec<Span> = spans
+            .iter()
+            .map(|s| {
+                if s.end.is_finite() {
+                    makespan = makespan.max(s.end);
+                }
+                Span {
+                    core: s.core,
+                    start: s.start,
+                    end: s.end,
+                    task: TaskId(s.task as u32),
+                    ty: TaskTypeId(s.ty),
+                    place: (s.leader, s.width),
+                    tag: s.tag,
+                }
+            })
+            .collect();
+        Trace {
+            spans,
+            makespan,
+            num_cores,
+        }
+    }
+}
+
+/// Sanitise a value for JSON emission: JSON has no `NaN` or `Infinity`
+/// tokens, so non-finite values become `0.0` (and the caller clamps
+/// durations to `>= 0`). A trace with one pathological span must still
+/// load in `chrome://tracing`.
+fn json_num(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Emit one complete (`"ph":"X"`) trace event for `s` under process id
+/// `pid` (0 for single-node traces, the node index in the cluster
+/// merge).
+fn push_chrome_event(out: &mut String, pid: usize, s: &Span) {
+    let ts = json_num(s.start * 1e6);
+    let dur = json_num(s.duration() * 1e6).max(0.0);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{} {}\",\"cat\":\"task\",\"ph\":\"X\",\
+         \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{},\
+         \"args\":{{\"place\":\"(C{},{})\",\"tag\":{}}}}}",
+        s.ty, s.task, s.core, s.place.0, s.place.1, s.tag,
+    );
+}
+
+/// The multi-node merge of per-node [`Trace`]s: one unified Chrome
+/// trace where **pid = node, tid = core** — `chrome://tracing` renders
+/// one process group per node with its cores as rows, which is exactly
+/// the cluster-wide Gantt a triage session wants.
+///
+/// All node traces share the session clock (each node's spans are on
+/// its own session timeline, and the cluster's nodes execute the same
+/// stream epoch), so no time normalisation is applied.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterTrace {
+    /// `(node index, that node's trace)`, ascending node index.
+    pub nodes: Vec<(usize, Trace)>,
+}
+
+impl ClusterTrace {
+    /// Assemble from per-node numeric span lists (the shape
+    /// `das_cluster::Cluster::collect_trace_spans` returns).
+    pub fn from_node_spans(nodes: &[(usize, usize, Vec<TraceSpan>)]) -> ClusterTrace {
+        ClusterTrace {
+            nodes: nodes
+                .iter()
+                .map(|(node, cores, spans)| (*node, Trace::from_trace_spans(*cores, spans)))
+                .collect(),
+        }
+    }
+
+    /// Total spans across all nodes.
+    pub fn total_spans(&self) -> usize {
+        self.nodes.iter().map(|(_, t)| t.spans.len()).sum()
+    }
+
+    /// Latest span end across all nodes.
+    pub fn makespan(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|(_, t)| t.makespan)
+            .fold(0.0, f64::max)
+    }
+
+    /// The unified Chrome Trace Event JSON: every node's spans with
+    /// `pid` = node index, plus one `process_name` metadata event per
+    /// node so the UI labels the process groups `node0`, `node1`, ….
+    /// Empty node traces (and an empty cluster) emit valid JSON.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 128 * self.total_spans());
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for (node, _) in &self.nodes {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\
+                 \"args\":{{\"name\":\"node{node}\"}}}}"
+            );
+        }
+        for (node, trace) in &self.nodes {
+            for s in &trace.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                push_chrome_event(&mut out, *node, s);
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Strict well-formedness check of a Chrome trace JSON document — a
+/// dependency-free recursive-descent parse of the full JSON grammar
+/// (the repo's no-new-deps stance rules out a serialisation crate, and
+/// a brace-count is not a parse). Returns the number of elements of the
+/// top-level `"traceEvents"` array, or the first syntax error with its
+/// byte offset. The serialization round-trip tests and the CI example
+/// runs pin every exported trace through this.
+pub fn validate_chrome_json(s: &str) -> Result<usize, String> {
+    let b = s.as_bytes();
+    let mut p = JsonParser {
+        b,
+        i: 0,
+        events: None,
+    };
+    p.skip_ws();
+    p.value(true)?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    p.events
+        .ok_or_else(|| "no \"traceEvents\" key in the top-level object".into())
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+    /// Element count of the top-level `traceEvents` array, once seen.
+    events: Option<usize>,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    /// Parse one JSON value. `top` marks the top-level value, whose
+    /// `"traceEvents"` member (if it is an object) gets counted.
+    fn value(&mut self, top: bool) -> Result<(), String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(top),
+            Some(b'[') => {
+                self.array()?;
+                Ok(())
+            }
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn object(&mut self, top: bool) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            if top && key == "traceEvents" {
+                if self.b.get(self.i) != Some(&b'[') {
+                    return Err(format!(
+                        "\"traceEvents\" is not an array at byte {}",
+                        self.i
+                    ));
+                }
+                let n = self.array()?;
+                self.events = Some(n);
+            } else {
+                self.value(false)?;
+            }
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    /// Parse an array, returning its element count.
+    fn array(&mut self) -> Result<usize, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(0);
+        }
+        let mut n = 0;
+        loop {
+            self.value(false)?;
+            n += 1;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(n);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            for k in 1..=4 {
+                                if !self.b.get(self.i + k).is_some_and(u8::is_ascii_hexdigit) {
+                                    return Err(format!("bad \\u escape at byte {}", self.i));
+                                }
+                            }
+                            self.i += 5;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                Some(c) if *c >= 0x20 => self.i += 1,
+                _ => return Err(format!("unterminated string at byte {start}")),
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.i;
+            while p.b.get(p.i).is_some_and(u8::is_ascii_digit) {
+                p.i += 1;
+            }
+            p.i > s
+        };
+        if !digits(self) {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -270,6 +596,111 @@ mod tests {
         assert!((total - 3.0).abs() < 1e-12);
         assert!((mean - 1.5).abs() < 1e-12);
         assert_eq!(agg[1].0, TaskTypeId(7));
+    }
+
+    #[test]
+    fn chrome_json_round_trips_through_a_full_parse() {
+        let t = Trace {
+            spans: vec![span(0, 0.0, 1.0, 3), span(1, 0.5, 2.0, 4)],
+            makespan: 2.0,
+            num_cores: 2,
+        };
+        assert_eq!(validate_chrome_json(&t.to_chrome_json()), Ok(2));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_chrome_json() {
+        assert_eq!(
+            validate_chrome_json(&Trace::default().to_chrome_json()),
+            Ok(0)
+        );
+        assert_eq!(
+            validate_chrome_json(&ClusterTrace::default().to_chrome_json()),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn zero_duration_and_pathological_spans_stay_valid_json() {
+        let t = Trace {
+            spans: vec![
+                span(0, 1.0, 1.0, 3),           // zero duration
+                span(0, 2.0, 1.5, 3),           // negative duration (clock skew)
+                span(1, f64::NAN, f64::NAN, 4), // non-finite timestamps
+                span(1, 0.0, f64::INFINITY, 4), // non-finite duration
+            ],
+            makespan: 2.0,
+            num_cores: 2,
+        };
+        let j = t.to_chrome_json();
+        assert_eq!(validate_chrome_json(&j), Ok(4));
+        assert!(!j.contains("NaN") && !j.contains("inf") && !j.contains("-"));
+    }
+
+    #[test]
+    fn cluster_trace_merges_with_pid_per_node() {
+        let t0 = Trace {
+            spans: vec![span(0, 0.0, 1.0, 3)],
+            makespan: 1.0,
+            num_cores: 2,
+        };
+        let t1 = Trace {
+            spans: vec![span(1, 0.5, 2.0, 4), span(0, 0.0, 0.5, 4)],
+            makespan: 2.0,
+            num_cores: 2,
+        };
+        let ct = ClusterTrace {
+            nodes: vec![(0, t0), (1, t1)],
+        };
+        assert_eq!(ct.total_spans(), 3);
+        assert!((ct.makespan() - 2.0).abs() < 1e-12);
+        let j = ct.to_chrome_json();
+        // 3 complete events + 2 process_name metadata events.
+        assert_eq!(validate_chrome_json(&j), Ok(5));
+        assert!(j.contains("\"pid\":0") && j.contains("\"pid\":1"));
+        assert!(j.contains("\"name\":\"node1\""));
+    }
+
+    #[test]
+    fn trace_spans_round_trip_through_the_numeric_form() {
+        let t = Trace {
+            spans: vec![span(0, 0.0, 1.0, 3), span(1, 0.5, 2.0, 4)],
+            makespan: 2.0,
+            num_cores: 2,
+        };
+        let numeric: Vec<TraceSpan> = t
+            .spans
+            .iter()
+            .map(|s| TraceSpan {
+                core: s.core,
+                start: s.start,
+                end: s.end,
+                task: s.task.0 as u64,
+                ty: s.ty.0,
+                leader: s.place.0,
+                width: s.place.1,
+                tag: s.tag,
+            })
+            .collect();
+        let back = Trace::from_trace_spans(2, &numeric);
+        assert_eq!(back.spans, t.spans);
+        assert!((back.makespan - t.makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"traceEvents\":[}",
+            "{\"traceEvents\":[{\"ts\":NaN}]}",
+            "{\"traceEvents\":[]} trailing",
+            "{\"traceEvents\":[{\"a\":1,}]}",
+            "{\"traceEvents\":{}}",
+            "{\"displayTimeUnit\":\"ms\"}",
+        ] {
+            assert!(validate_chrome_json(bad).is_err(), "accepted: {bad:?}");
+        }
     }
 
     #[test]

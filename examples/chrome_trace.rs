@@ -5,9 +5,12 @@
 //! cargo run --release --example chrome_trace [out.json]
 //! ```
 
-use das::core::{Policy, TaskTypeId};
+use das::cluster::{ClusterBuilder, RoutePolicy};
+use das::core::jobs::JobSpec;
+use das::core::{MetricsConfig, Policy, TaskTypeId};
 use das::dag::generators;
-use das::sim::{Environment, Modifier, SimConfig, Simulator};
+use das::exec::{Executor, SessionBuilder};
+use das::sim::{validate_chrome_json, Environment, Modifier, SimConfig, Simulator};
 use das::topology::{ClusterId, CoreId, Topology};
 use das::workloads::cost::PaperCost;
 use std::sync::Arc;
@@ -58,4 +61,34 @@ fn main() {
     assert!(trace.find_overlap().is_none(), "trace must be physical");
     std::fs::write(&out, trace.to_chrome_json()).expect("write trace file");
     println!("\nChrome trace written to {out} — load it in chrome://tracing or Perfetto.");
+
+    // ----------------------------------------------------------------
+    // Multi-node merge: the same export over a 4-node sim cluster.
+    // Each node ships its spans to the dispatcher over the wire
+    // (`collect_trace`), and the merged document maps node → pid and
+    // core → tid so one Perfetto view shows the whole fleet.
+    // ----------------------------------------------------------------
+    let base = SessionBuilder::new(Arc::new(Topology::tx2()), Policy::DamC)
+        .seed(42)
+        .metrics(MetricsConfig::default().with_trace());
+    let mut cluster = ClusterBuilder::new(base, 4)
+        .route(RoutePolicy::RoundRobin)
+        .build_sim();
+    let jobs = (0..8)
+        .map(|j| JobSpec::new(generators::layered(TaskTypeId(0), 4, 12)).at(j as f64 * 1e-3))
+        .collect();
+    let report = cluster.run_stream(jobs).expect("cluster stream");
+    let merged = cluster.collect_trace().expect("pull spans from nodes");
+    let json = merged.to_chrome_json();
+    let events = validate_chrome_json(&json).expect("merged trace is valid JSON");
+
+    let cluster_out = out.replace(".json", "-cluster.json");
+    std::fs::write(&cluster_out, &json).expect("write cluster trace");
+    println!(
+        "\ncluster: {} jobs on 4 nodes, {} spans merged into {} trace events \
+         (pid = node, tid = core) — written to {cluster_out}",
+        report.jobs.jobs.len(),
+        merged.total_spans(),
+        events,
+    );
 }

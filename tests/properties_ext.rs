@@ -201,4 +201,40 @@ proptest! {
             Distance::CrossNode => prop_assert_ne!(topo.node_of(a), topo.node_of(b)),
         }
     }
+
+    /// Sharded sketch percentiles vs. exact nearest-rank: record one
+    /// stream of samples into `k` per-node sketches, merge, and compare
+    /// every quantile against the exact nearest-rank value of the same
+    /// stream. The error never exceeds one bucket's relative width
+    /// (`LogHistogram::relative_error`), independent of the sharding —
+    /// this is the bound that lets `drain_summary` replace shipping
+    /// per-job records with shipping sketches.
+    #[test]
+    fn merged_sketch_quantiles_match_exact_nearest_rank_within_bucket_error(
+        samples in prop::collection::vec(1e-5f64..1e3, 1..200),
+        shards in 1usize..6,
+        q in 0.0f64..=1.0,
+    ) {
+        use das::core::LogHistogram;
+        let mut nodes = vec![LogHistogram::latency(); shards];
+        for (i, &v) in samples.iter().enumerate() {
+            nodes[i % shards].record(v);
+        }
+        let mut merged = LogHistogram::latency();
+        for n in &nodes {
+            merged.merge(n);
+        }
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let k = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[k - 1];
+        let sketch = merged.quantile(q).expect("non-empty sketch");
+        let rel = merged.relative_error();
+        prop_assert!(
+            (sketch - exact).abs() <= exact * rel + f64::EPSILON,
+            "q={} sketch={} exact={} rel={}", q, sketch, exact, rel
+        );
+    }
 }
